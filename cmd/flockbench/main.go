@@ -1,0 +1,215 @@
+// Command flockbench regenerates the paper's evaluation figures (Figures
+// 4-7 of "Lock-Free Locks Revisited", PPoPP 2022) on this machine, or
+// runs a single custom measurement point.
+//
+// Regenerate one figure (scaled-down defaults):
+//
+//	flockbench -figure fig5d
+//
+// Regenerate everything EXPERIMENTS.md reports:
+//
+//	flockbench -figure all -repeats 3 -warmup 1
+//
+// Full-scale paper parameters (hours, needs a big machine):
+//
+//	flockbench -figure fig5a -largekeys 100000000 -duration 3s -repeats 3
+//
+// Single point:
+//
+//	flockbench -structure leaftree -threads 16 -keys 100000 -update 50 -alpha 0.99 -blocking
+//
+// The descheduling-injection extension (DESIGN.md S3):
+//
+//	flockbench -structure leaftree -threads 16 -stall 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"flock/internal/harness"
+)
+
+func main() {
+	var (
+		figure    = flag.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, or 'all')")
+		list      = flag.Bool("list", false, "list figures and structures")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+		largeKeys = flag.Uint64("largekeys", 0, "override the 'large' key range (paper: 100M)")
+		smallKeys = flag.Uint64("smallkeys", 0, "override the 'small' key range (paper: 100K)")
+		duration  = flag.Duration("duration", 0, "per-point run duration (paper: 3s)")
+		warmup    = flag.Int("warmup", -1, "warmup runs per point (paper: 1)")
+		repeats   = flag.Int("repeats", 0, "measured runs per point (paper: 3)")
+		baseTh    = flag.Int("base", 0, "'full subscription' thread count (paper: 144)")
+		overTh    = flag.Int("over", 0, "oversubscribed thread count (paper: 216)")
+		sweep     = flag.String("sweep", "", "comma-separated thread sweep, e.g. 1,2,4,8,16")
+
+		structure = flag.String("structure", "", "single-point mode: structure name")
+		threads   = flag.Int("threads", 8, "single-point: worker goroutines")
+		keys      = flag.Uint64("keys", 100_000, "single-point: key range")
+		update    = flag.Int("update", 50, "single-point: update percentage")
+		alpha     = flag.Float64("alpha", 0.75, "single-point: zipfian parameter")
+		blocking  = flag.Bool("blocking", false, "single-point: blocking mode")
+		hashKeys  = flag.Bool("hashkeys", false, "single-point: sparsify keys by hashing")
+		stall     = flag.Int("stall", 0, "single-point: inject a deschedule every N critical sections")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures:")
+		figs := harness.Figures()
+		for _, id := range harness.FigureIDs() {
+			fmt.Printf("  %-6s %s\n", id, figs[id].Paper)
+		}
+		fmt.Println("structures:")
+		for _, s := range harness.Structures() {
+			fmt.Printf("  %s\n", s)
+		}
+		return
+	}
+
+	sc := harness.DefaultScale()
+	sc.Seed = *seed
+	if *largeKeys > 0 {
+		sc.LargeKeys = *largeKeys
+	}
+	if *smallKeys > 0 {
+		sc.SmallKeys = *smallKeys
+	}
+	if *duration > 0 {
+		sc.Duration = *duration
+	}
+	if *warmup >= 0 {
+		sc.Warmup = *warmup
+	}
+	if *repeats > 0 {
+		sc.Repeats = *repeats
+	}
+	if *baseTh > 0 {
+		sc.Base = *baseTh
+	}
+	if *overTh > 0 {
+		sc.Over = *overTh
+	}
+	if *sweep != "" {
+		var ts []int
+		for _, part := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fatalf("bad -sweep element %q", part)
+			}
+			ts = append(ts, n)
+		}
+		sc.Threads = ts
+	}
+
+	switch {
+	case *figure != "":
+		ids := []string{*figure}
+		if *figure == "all" {
+			ids = harness.FigureIDs()
+		}
+		for _, id := range ids {
+			fs, ok := harness.Figures()[id]
+			if !ok {
+				fatalf("unknown figure %q (use -list)", id)
+			}
+			fig, err := harness.RunFigure(fs, sc)
+			if err != nil {
+				fatalf("figure %s: %v", id, err)
+			}
+			printFigure(fig, *csv)
+		}
+	case *structure != "":
+		spec := harness.Spec{
+			Structure:  *structure,
+			Blocking:   *blocking,
+			Threads:    *threads,
+			KeyRange:   *keys,
+			UpdatePct:  *update,
+			Alpha:      *alpha,
+			HashKeys:   *hashKeys,
+			Duration:   orDefault(sc.Duration, 500*time.Millisecond),
+			Seed:       *seed,
+			StallEvery: *stall,
+		}
+		mean, std, err := harness.RunAveraged(spec, sc.Warmup, sc.Repeats)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%s threads=%d keys=%d update=%d%% alpha=%.2f blocking=%v stall=%d: %.3f Mop/s (±%.3f)\n",
+			*structure, *threads, *keys, *update, *alpha, *blocking, *stall, mean, std)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func orDefault(d, def time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return def
+}
+
+// printFigure renders one figure as rows grouped by x value, one column
+// per series — the same rows the paper's plots are drawn from.
+func printFigure(fig harness.Figure, csv bool) {
+	fmt.Printf("\n== %s: %s ==\n", fig.ID, fig.Paper)
+	// Collect series order and x order as first encountered.
+	var seriesNames, xs []string
+	seenS := map[string]bool{}
+	seenX := map[string]bool{}
+	vals := map[[2]string]harness.Point{}
+	for _, pt := range fig.Points {
+		if !seenS[pt.Series] {
+			seenS[pt.Series] = true
+			seriesNames = append(seriesNames, pt.Series)
+		}
+		if !seenX[pt.X] {
+			seenX[pt.X] = true
+			xs = append(xs, pt.X)
+		}
+		vals[[2]string{pt.Series, pt.X}] = pt
+	}
+
+	if csv {
+		fmt.Printf("%s,%s\n", fig.XLabel, strings.Join(seriesNames, ","))
+		for _, x := range xs {
+			row := []string{x}
+			for _, s := range seriesNames {
+				row = append(row, fmt.Sprintf("%.4f", vals[[2]string{s, x}].Mops))
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+		return
+	}
+	w := 0
+	for _, s := range seriesNames {
+		if len(s) > w {
+			w = len(s)
+		}
+	}
+	fmt.Printf("%-12s", fig.XLabel)
+	for _, s := range seriesNames {
+		fmt.Printf(" %*s", w, s)
+	}
+	fmt.Println(" (Mop/s)")
+	for _, x := range xs {
+		fmt.Printf("%-12s", x)
+		for _, s := range seriesNames {
+			fmt.Printf(" %*.3f", w, vals[[2]string{s, x}].Mops)
+		}
+		fmt.Println()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flockbench: "+format+"\n", args...)
+	os.Exit(1)
+}

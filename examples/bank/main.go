@@ -1,0 +1,126 @@
+// Bank: composing critical sections with nested try-locks.
+//
+// Atomically moving data between two places is the classic case where
+// hand-rolled lock-free code gets hard and lock-based code is easy (§1).
+// Here each account has its own lock; a transfer takes both locks,
+// nested in a fixed order, and moves money. Run lock-free, a transfer
+// whose owner stalls mid-way is finished by whoever bumps into its lock,
+// so the invariant (total balance) holds even with a permanently
+// sleeping goroutine inside a critical section.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	flock "flock/internal/core"
+)
+
+const nAccounts = 16
+
+type bank struct {
+	balance [nAccounts]flock.Mutable[uint64]
+	locks   [nAccounts]flock.Lock
+}
+
+// transfer moves amount from a to b atomically; false means a lock was
+// busy (the caller may retry) or funds were insufficient.
+func (bk *bank) transfer(p *flock.Proc, a, b int, amount uint64) bool {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	p.Begin()
+	defer p.End()
+	return bk.locks[lo].TryLock(p, func(hp *flock.Proc) bool {
+		return bk.locks[hi].TryLock(hp, func(hp2 *flock.Proc) bool {
+			from := bk.balance[a].Load(hp2)
+			if from < amount {
+				return false
+			}
+			to := bk.balance[b].Load(hp2)
+			bk.balance[a].Store(hp2, from-amount)
+			bk.balance[b].Store(hp2, to+amount)
+			return true
+		})
+	})
+}
+
+func (bk *bank) total(p *flock.Proc) uint64 {
+	var t uint64
+	for i := range bk.balance {
+		t += bk.balance[i].Load(p)
+	}
+	return t
+}
+
+func main() {
+	rt := flock.New()
+	bk := &bank{}
+	init := rt.Register()
+	for i := range bk.balance {
+		bk.balance[i].Init(1000)
+	}
+	fmt.Printf("initial total: %d\n", bk.total(init))
+	init.Unregister()
+
+	// A saboteur acquires a lock and falls asleep inside the critical
+	// section (only its own first run sleeps; helpers running the same
+	// thunk skip the branch because the CAS below is taken exactly once).
+	var stalled atomic.Int32
+	release := make(chan struct{})
+	go func() {
+		p := rt.Register()
+		p.Begin()
+		bk.locks[0].TryLock(p, func(hp *flock.Proc) bool {
+			v := bk.balance[0].Load(hp)
+			bk.balance[0].Store(hp, v) // a no-op "audit" of account 0
+			if stalled.CompareAndSwap(0, 1) {
+				<-release // sleeps forever holding the lock
+			}
+			return true
+		})
+		p.End()
+	}()
+	for stalled.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("a goroutine is now asleep inside account 0's critical section")
+
+	// Transfers keep flowing — including through account 0 — because
+	// helpers complete the sleeper's critical section and release its lock.
+	var done atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			rng := uint64(w)*2654435761 + 1
+			for i := 0; i < 5000; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				a := int(rng>>33) % nAccounts
+				b := int(rng>>13) % nAccounts
+				if a == b {
+					continue
+				}
+				if bk.transfer(p, a, b, 1+rng%10) {
+					done.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	probe := rt.Register()
+	defer probe.Unregister()
+	fmt.Printf("completed %d transfers while the sleeper held its lock\n", done.Load())
+	fmt.Printf("final total: %d (invariant %s)\n", bk.total(probe),
+		map[bool]string{true: "preserved", false: "VIOLATED"}[bk.total(probe) == nAccounts*1000])
+	close(release)
+}

@@ -1,0 +1,118 @@
+package ellen
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	flock "flock/internal/core"
+	"flock/internal/structures/set"
+	"flock/internal/structures/settest"
+)
+
+func TestSuite(t *testing.T) {
+	settest.Run(t, func(rt *flock.Runtime) set.Set { return New() })
+}
+
+func TestBasicShape(t *testing.T) {
+	tr := New()
+	var p *flock.Proc
+	if _, ok := tr.Find(p, 9); ok {
+		t.Fatalf("empty tree finds key")
+	}
+	if !tr.Insert(p, 9, 90) || tr.Insert(p, 9, 91) {
+		t.Fatalf("insert semantics broken")
+	}
+	if v, ok := tr.Find(p, 9); !ok || v != 90 {
+		t.Fatalf("Find(9)=(%d,%v)", v, ok)
+	}
+	if !tr.Delete(p, 9) || tr.Delete(p, 9) {
+		t.Fatalf("delete semantics broken")
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	tr := New()
+	var p *flock.Proc
+	rng := rand.New(rand.NewSource(8))
+	model := map[uint64]uint64{}
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(300) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			_, had := model[k]
+			if tr.Insert(p, k, v) == had {
+				t.Fatalf("insert %d inconsistent", k)
+			}
+			if !had {
+				model[k] = v
+			}
+		case 1:
+			_, had := model[k]
+			if tr.Delete(p, k) != had {
+				t.Fatalf("delete %d inconsistent", k)
+			}
+			delete(model, k)
+		default:
+			want, had := model[k]
+			v, ok := tr.Find(p, k)
+			if ok != had || (had && v != want) {
+				t.Fatalf("find %d inconsistent", k)
+			}
+		}
+	}
+	got := tr.Keys(p)
+	if len(got) != len(model) {
+		t.Fatalf("%d keys vs model %d", len(got), len(model))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("unsorted traversal")
+	}
+}
+
+func TestHelpingUnderContention(t *testing.T) {
+	// All workers fight over two adjacent keys: delete flags/marks and
+	// insert helping interleave heavily.
+	tr := New()
+	const workers = 8
+	type tally struct{ ins, del [3]int64 }
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var p *flock.Proc
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				k := uint64(rng.Intn(2) + 1)
+				if rng.Intn(2) == 0 {
+					if tr.Insert(p, k, k) {
+						tallies[w].ins[k]++
+					}
+				} else {
+					if tr.Delete(p, k) {
+						tallies[w].del[k]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var p *flock.Proc
+	for k := uint64(1); k <= 2; k++ {
+		var ins, del int64
+		for w := 0; w < workers; w++ {
+			ins += tallies[w].ins[k]
+			del += tallies[w].del[k]
+		}
+		_, present := tr.Find(p, k)
+		if diff := ins - del; diff != 0 && diff != 1 {
+			t.Fatalf("key %d: ins=%d del=%d", k, ins, del)
+		} else if (diff == 1) != present {
+			t.Fatalf("key %d: diff=%d present=%v", k, diff, present)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package harris implements Harris's lock-free sorted linked list [29],
+// the baseline the paper compares its lists against, plus the optimized
+// variant of David et al. [16] in which find operations perform no helping
+// (no unlinking of marked nodes), labelled harris_list_opt in Figure 7.
+//
+// Go adaptation: the original steals a mark bit from the next pointer;
+// here next holds an immutable boxed (pointer, marked) pair that is
+// replaced whole by CAS. Every successful CAS installs a fresh box, so
+// the algorithm's ABA assumptions hold by construction (DESIGN.md S1).
+package harris
+
+import (
+	"math"
+	"sync/atomic"
+
+	flock "flock/internal/core"
+)
+
+// nref is one immutable (successor, marked) state of a node's next field.
+type nref struct {
+	next   *node
+	marked bool
+}
+
+type node struct {
+	k, v uint64
+	next atomic.Pointer[nref]
+}
+
+// List is Harris's lock-free list. The zero value is not usable; call New.
+type List struct {
+	head *node
+	tail *node
+	// optFind disables helping in Find: traversals skip marked nodes
+	// without unlinking them (harris_list_opt).
+	optFind bool
+}
+
+// New returns an empty list. optFind selects the read-only-find variant.
+func New(optFind bool) *List {
+	tail := &node{k: math.MaxUint64}
+	tail.next.Store(&nref{})
+	head := &node{k: 0}
+	head.next.Store(&nref{next: tail})
+	return &List{head: head, tail: tail, optFind: optFind}
+}
+
+// search returns adjacent nodes (left, right) with left.k < k <= right.k,
+// unlinking any marked nodes in between (Harris's search).
+func (l *List) search(k uint64) (left, right *node) {
+	for {
+		// Phase 1: locate left (last unmarked < k) and right (first
+		// unmarked >= k), remembering left's observed next box.
+		var leftRef *nref
+		t := l.head
+		tRef := t.next.Load()
+		for {
+			if !tRef.marked {
+				left = t
+				leftRef = tRef
+			}
+			t = tRef.next
+			if t == l.tail {
+				break
+			}
+			tRef = t.next.Load()
+			if !(tRef.marked || t.k < k) {
+				break
+			}
+		}
+		right = t
+
+		// Phase 2: already adjacent?
+		if leftRef.next == right {
+			if right != l.tail && right.next.Load().marked {
+				continue // right got marked; retry
+			}
+			return left, right
+		}
+		// Phase 3: unlink the marked run between left and right.
+		if left.next.CompareAndSwap(leftRef, &nref{next: right}) {
+			if right != l.tail && right.next.Load().marked {
+				continue
+			}
+			return left, right
+		}
+	}
+}
+
+// Find reports the value stored under k.
+func (l *List) Find(p *flock.Proc, k uint64) (uint64, bool) {
+	_ = p
+	if l.optFind {
+		// Read-only traversal: skip marked nodes without unlinking.
+		cur := l.head.next.Load().next
+		for cur != l.tail && cur.k < k {
+			cur = cur.next.Load().next
+		}
+		if cur != l.tail && cur.k == k && !cur.next.Load().marked {
+			return cur.v, true
+		}
+		return 0, false
+	}
+	_, right := l.search(k)
+	if right != l.tail && right.k == k {
+		return right.v, true
+	}
+	return 0, false
+}
+
+// Insert adds (k, v); false if already present.
+func (l *List) Insert(p *flock.Proc, k, v uint64) bool {
+	_ = p
+	n := &node{k: k, v: v}
+	for {
+		left, right := l.search(k)
+		if right != l.tail && right.k == k {
+			return false
+		}
+		n.next.Store(&nref{next: right})
+		old := left.next.Load()
+		if old.marked || old.next != right {
+			continue
+		}
+		if left.next.CompareAndSwap(old, &nref{next: n}) {
+			return true
+		}
+	}
+}
+
+// Delete removes k; false if absent. Two phases: logically delete by
+// marking, then physically unlink (or let a later search do it).
+func (l *List) Delete(p *flock.Proc, k uint64) bool {
+	_ = p
+	for {
+		left, right := l.search(k)
+		if right == l.tail || right.k != k {
+			return false
+		}
+		rRef := right.next.Load()
+		if rRef.marked {
+			continue // someone else is deleting it; re-search (helps unlink)
+		}
+		if !right.next.CompareAndSwap(rRef, &nref{next: rRef.next, marked: true}) {
+			continue
+		}
+		// Best-effort immediate unlink.
+		old := left.next.Load()
+		if !old.marked && old.next == right {
+			left.next.CompareAndSwap(old, &nref{next: rRef.next})
+		} else {
+			l.search(k)
+		}
+		return true
+	}
+}
+
+// Keys returns unmarked keys in order (single-threaded use).
+func (l *List) Keys(p *flock.Proc) []uint64 {
+	_ = p
+	var out []uint64
+	for n := l.head.next.Load().next; n != l.tail; {
+		ref := n.next.Load()
+		if !ref.marked {
+			out = append(out, n.k)
+		}
+		n = ref.next
+	}
+	return out
+}

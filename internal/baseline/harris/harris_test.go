@@ -1,0 +1,128 @@
+package harris
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	flock "flock/internal/core"
+	"flock/internal/structures/set"
+	"flock/internal/structures/settest"
+)
+
+func TestSuiteStandard(t *testing.T) {
+	settest.Run(t, func(rt *flock.Runtime) set.Set { return New(false) })
+}
+
+func TestSuiteOptimizedFind(t *testing.T) {
+	settest.Run(t, func(rt *flock.Runtime) set.Set { return New(true) })
+}
+
+func TestMarkedNodesEventuallyUnlinked(t *testing.T) {
+	l := New(false)
+	var p *flock.Proc // baselines ignore the proc
+	for k := uint64(1); k <= 100; k++ {
+		l.Insert(p, k, k)
+	}
+	for k := uint64(1); k <= 100; k += 2 {
+		l.Delete(p, k)
+	}
+	// A full search for a large key walks the whole list, unlinking all
+	// marked nodes on the way.
+	l.Find(p, 1000)
+	n := 0
+	for c := l.head.next.Load().next; c != l.tail; c = c.next.Load().next {
+		if c.next.Load().marked {
+			t.Fatalf("marked node %d still physically linked after full search", c.k)
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("%d nodes remain, want 50", n)
+	}
+}
+
+func TestOptFindDoesNotUnlink(t *testing.T) {
+	l := New(true)
+	var p *flock.Proc
+	for k := uint64(1); k <= 20; k++ {
+		l.Insert(p, k, k)
+	}
+	// Delete without the immediate-unlink fast path firing reliably:
+	// mark node 10 manually to simulate a delete stalled before unlink.
+	var victim *node
+	for c := l.head.next.Load().next; c != l.tail; c = c.next.Load().next {
+		if c.k == 10 {
+			victim = c
+		}
+	}
+	ref := victim.next.Load()
+	victim.next.Store(&nref{next: ref.next, marked: true})
+
+	if _, ok := l.Find(p, 10); ok {
+		t.Fatalf("opt find returned a marked node")
+	}
+	// The marked node must still be physically linked (find didn't help).
+	found := false
+	for c := l.head.next.Load().next; c != l.tail; c = c.next.Load().next {
+		if c == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("opt find unlinked a marked node")
+	}
+	// An update (insert) does clean it.
+	l.Insert(p, 10, 99)
+	for c := l.head.next.Load().next; c != l.tail; c = c.next.Load().next {
+		if c == victim {
+			t.Fatalf("insert's search did not unlink the marked node")
+		}
+	}
+}
+
+func TestConcurrentLinearizableCounts(t *testing.T) {
+	for _, opt := range []bool{false, true} {
+		l := New(opt)
+		const workers = 8
+		const keys = 16
+		type tally struct{ ins, del [keys + 1]int64 }
+		tallies := make([]tally, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)*3 + 1))
+				var p *flock.Proc
+				for i := 0; i < 2000; i++ {
+					k := uint64(rng.Intn(keys) + 1)
+					if rng.Intn(2) == 0 {
+						if l.Insert(p, k, k) {
+							tallies[w].ins[k]++
+						}
+					} else {
+						if l.Delete(p, k) {
+							tallies[w].del[k]++
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var p *flock.Proc
+		for k := uint64(1); k <= keys; k++ {
+			var ins, del int64
+			for w := 0; w < workers; w++ {
+				ins += tallies[w].ins[k]
+				del += tallies[w].del[k]
+			}
+			_, present := l.Find(p, k)
+			if diff := ins - del; diff != 0 && diff != 1 {
+				t.Fatalf("opt=%v key %d: ins=%d del=%d", opt, k, ins, del)
+			} else if (diff == 1) != present {
+				t.Fatalf("opt=%v key %d: diff=%d present=%v", opt, k, diff, present)
+			}
+		}
+	}
+}

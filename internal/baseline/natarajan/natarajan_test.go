@@ -1,0 +1,96 @@
+package natarajan
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	flock "flock/internal/core"
+	"flock/internal/structures/set"
+	"flock/internal/structures/settest"
+)
+
+func TestSuite(t *testing.T) {
+	settest.Run(t, func(rt *flock.Runtime) set.Set { return New() })
+}
+
+func TestSentinelLayout(t *testing.T) {
+	tr := New()
+	var p *flock.Proc
+	if _, ok := tr.Find(p, 1); ok {
+		t.Fatalf("empty tree finds key")
+	}
+	if got := tr.Keys(p); len(got) != 0 {
+		t.Fatalf("empty tree has keys %v", got)
+	}
+	tr.Insert(p, 5, 50)
+	if v, ok := tr.Find(p, 5); !ok || v != 50 {
+		t.Fatalf("Find(5) = (%d,%v)", v, ok)
+	}
+}
+
+func TestSortedKeysAfterMixedOps(t *testing.T) {
+	tr := New()
+	var p *flock.Proc
+	rng := rand.New(rand.NewSource(3))
+	model := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(400) + 1)
+		if rng.Intn(2) == 0 {
+			if tr.Insert(p, k, k) != !model[k] {
+				t.Fatalf("insert %d inconsistent", k)
+			}
+			model[k] = true
+		} else {
+			if tr.Delete(p, k) != model[k] {
+				t.Fatalf("delete %d inconsistent", k)
+			}
+			delete(model, k)
+		}
+	}
+	got := tr.Keys(p)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("keys not sorted: %v", got)
+	}
+	if len(got) != len(model) {
+		t.Fatalf("%d keys, model has %d", len(got), len(model))
+	}
+	for _, k := range got {
+		if !model[k] {
+			t.Fatalf("stray key %d", k)
+		}
+	}
+}
+
+func TestConcurrentDeleteStorm(t *testing.T) {
+	// Concurrent deletes of neighboring leaves exercise the tag/flag
+	// helping protocol (chains of edge promotions).
+	tr := New()
+	var p *flock.Proc
+	const n = 512
+	for k := uint64(1); k <= n; k++ {
+		tr.Insert(p, k, k)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var p *flock.Proc
+			for k := uint64(1 + w); k <= n; k += 8 {
+				if !tr.Delete(p, k) {
+					t.Errorf("delete %d failed (disjoint keys)", k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Keys(p); len(got) != 0 {
+		t.Fatalf("%d keys remain", len(got))
+	}
+	// Tree still functional.
+	if !tr.Insert(p, 7, 7) {
+		t.Fatalf("post-storm insert failed")
+	}
+}

@@ -1,0 +1,41 @@
+package flock
+
+// Allocate constructs an object idempotently inside a thunk (Algorithm 2,
+// allocate): every run calls mk, the first to commit wins, and all runs
+// return the winner's object; losers' objects are dropped (the paper's
+// sysFree becomes garbage collection). mk must have no side effects other
+// than building the object. Outside a thunk it is just mk().
+func Allocate[T any](p *Proc, mk func() *T) *T {
+	obj := mk()
+	if p.blk == nil {
+		return obj
+	}
+	c, _ := p.commit(obj)
+	return c.(*T)
+}
+
+// Retire schedules obj for reclamation once no concurrent operation can
+// still reference it (Algorithm 2, retire, backed by the epoch manager of
+// §6). Inside a thunk the runs of the thunk compete for ownership through
+// the log so the object is retired exactly once. free may be nil, in which
+// case reclamation is left entirely to the garbage collector and Retire
+// only provides the idempotence bookkeeping; a non-nil free runs after the
+// grace period (e.g. to return the object to a pool or update statistics).
+func Retire[T any](p *Proc, obj *T, free func(*T)) {
+	if p.blk == nil {
+		if free != nil {
+			f := free
+			o := obj
+			p.slot.Retire(func() { f(o) })
+		}
+		return
+	}
+	// All runs must commit (to stay position-synchronized) even when
+	// there is nothing to do afterwards.
+	_, first := p.commit(true)
+	if first && free != nil {
+		f := free
+		o := obj
+		p.slot.Retire(func() { f(o) })
+	}
+}

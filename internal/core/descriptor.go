@@ -1,0 +1,69 @@
+package flock
+
+import "sync/atomic"
+
+// Thunk is the paper's thunk: a critical section taking no arguments
+// beyond the executing Proc and returning a boolean (typically: did the
+// protected operation succeed, or should the caller retry). A Thunk must
+// follow the determinism rules in the package documentation.
+type Thunk func(*Proc) bool
+
+// descriptor carries everything a helper needs to complete a critical
+// section: the thunk, its shared log, a done flag, and the epoch at which
+// the owning operation was running (helpers lower themselves to it, §6).
+// The first log block is embedded so descriptor creation is a single
+// allocation. Descriptors are allocated fresh per acquisition and never
+// reused: a straggling helper that re-runs a completed descriptor replays
+// against a full log and fresh-box CASes, so every one of its effects is
+// discarded (see DESIGN.md S7).
+type descriptor struct {
+	thunk Thunk
+	birth uint64
+	done  atomic.Uint32 // update-once boolean
+	first logBlock
+}
+
+// newDescriptor creates (idempotently, when nested inside another thunk)
+// the descriptor for a lock acquisition.
+func (p *Proc) newDescriptor(f Thunk) *descriptor {
+	d := &descriptor{thunk: f, birth: p.currentEpoch()}
+	if p.blk == nil {
+		return d
+	}
+	c, _ := p.commit(d)
+	return c.(*descriptor)
+}
+
+func (p *Proc) currentEpoch() uint64 {
+	if e := p.slot.Announced(); e != ^uint64(0) {
+		return e
+	}
+	return p.rt.epochs.GlobalEpoch()
+}
+
+// loadDone reads the descriptor's done flag with update-once semantics:
+// committed inside thunks so all helpers agree.
+func (d *descriptor) loadDone(p *Proc) bool {
+	v := d.done.Load() != 0
+	if p.blk == nil {
+		return v
+	}
+	c, _ := p.commit(v)
+	return c.(bool)
+}
+
+// run executes the descriptor's thunk under its shared log (Algorithm 2,
+// run): it installs the descriptor's log, runs the thunk from position 0,
+// and restores the previous log and position, so nested thunks and
+// helping compose. While running, the Proc announces the minimum of its
+// epoch and the descriptor's birth epoch so that memory the thunk
+// committed references to stays unreclaimed for stragglers (§6).
+func (p *Proc) run(d *descriptor) bool {
+	oblk, oidx := p.blk, p.idx
+	prev := p.slot.Lower(d.birth)
+	p.blk, p.idx = &d.first, 0
+	res := d.thunk(p)
+	p.blk, p.idx = oblk, oidx
+	p.slot.Restore(prev)
+	return res
+}

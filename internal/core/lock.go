@@ -1,0 +1,172 @@
+package flock
+
+import "runtime"
+
+// lockState is the value held by a lock word: a descriptor pointer and a
+// locked bit (the paper packs these into one word by stealing a pointer
+// bit; the boxed Mutable gives the same single-CAS atomicity). The zero
+// value is "unlocked, no descriptor".
+type lockState struct {
+	d      *descriptor
+	locked bool
+}
+
+// Lock is a lock-free try-lock (Algorithm 3). The zero value is an
+// unlocked lock. In lock-free mode a taken lock holds a descriptor that
+// any thread may help complete; in blocking mode it degenerates to a
+// test-and-test-and-set lock with no logging. The mode is taken from the
+// Runtime of the Proc performing each operation.
+type Lock struct {
+	state Mutable[lockState]
+}
+
+// Shared boxes for blocking mode: blocking acquisitions never dereference
+// the descriptor, so all blocking locks can share one locked and one
+// unlocked box. (An ABA "reacquire across a full lock/unlock cycle" on
+// these boxes is harmless: the CAS still only succeeds on an unlocked
+// lock, which is the entire TTAS contract.)
+var (
+	blockedBox   = &mbox[lockState]{v: lockState{locked: true}}
+	unblockedBox = &mbox[lockState]{v: lockState{locked: false}}
+)
+
+// TryLock attempts to acquire the lock and run thunk f inside it. It
+// returns false if the lock was held (after helping the holder finish, in
+// lock-free mode) or if f returned false; it returns true only when the
+// lock was acquired and f returned true. Locks taken inside f must be
+// acquired through nested TryLock calls (the paper's "simply nested"
+// discipline keeps the construction lock-free).
+func (l *Lock) TryLock(p *Proc, f Thunk) bool {
+	if p.rt.blocking.Load() {
+		return l.tryLockBlocking(p, f)
+	}
+	result := false
+	cur := l.state.Load(p)
+	if !cur.locked {
+		my := p.newDescriptor(f)
+		myLS := lockState{d: my, locked: true}
+		l.state.CAM(p, cur, myLS)
+		cur2 := l.state.Load(p)
+		// The done check (Algorithm 3, line 20) is essential: our CAM may
+		// have succeeded and the descriptor already been helped to
+		// completion and replaced, in which case cur2 != myLS but the
+		// acquisition did happen and we must return its result.
+		if my.loadDone(p) || cur2 == myLS {
+			if p.blk == nil {
+				p.maybeStall() // injected descheduling while holding the lock
+			}
+			result = l.runAndUnlock(p, myLS) // run own critical section
+		} else if cur2.locked {
+			l.runAndUnlock(p, cur2) // lost the race: help the winner
+		}
+		// else: the lock was acquired and released between our loads;
+		// nothing to help. Either way our tryLock failed (unless done).
+	} else {
+		l.runAndUnlock(p, cur) // help the current holder, then report failure
+	}
+	return result
+}
+
+// Lock is the strict lock variant: it loops, helping any holder, until it
+// acquires the lock, then runs f and returns f's result. Strict locks are
+// not simply nested (§4), but remain useful for comparison with try-locks
+// (Figure 4) and for code that cannot restart.
+func (l *Lock) Lock(p *Proc, f Thunk) bool {
+	if p.rt.blocking.Load() {
+		return l.lockBlocking(p, f)
+	}
+	my := p.newDescriptor(f)
+	myLS := lockState{d: my, locked: true}
+	for {
+		cur := l.state.Load(p)
+		if cur.locked {
+			l.runAndUnlock(p, cur) // help, then try again
+			continue
+		}
+		l.state.CAM(p, cur, myLS)
+		cur2 := l.state.Load(p)
+		if my.loadDone(p) || cur2 == myLS {
+			if p.blk == nil {
+				p.maybeStall()
+			}
+			return l.runAndUnlock(p, myLS)
+		}
+	}
+}
+
+// Unlock releases a lock currently held by the running thunk before the
+// thunk's scope ends (Algorithm 3, lines 29-31). It enables hand-over-hand
+// locking. Behaviour is undefined if the calling thunk's lock acquisition
+// does not hold the lock.
+func (l *Lock) Unlock(p *Proc) {
+	if p.rt.blocking.Load() {
+		l.state.b.Store(unblockedBox)
+		return
+	}
+	cur := l.state.Load(p)
+	l.state.CAM(p, cur, lockState{d: cur.d, locked: false})
+}
+
+// Held reports whether the lock is currently held (a racy snapshot; for
+// tests, assertions and monitoring).
+func (l *Lock) Held() bool {
+	bx := l.state.b.Load()
+	return bx != nil && bx.v.locked
+}
+
+// runAndUnlock completes the critical section of ls.d (running it for the
+// first time, or helping, or harmlessly replaying a finished thunk), sets
+// the done flag, and releases the lock if it still holds this descriptor.
+func (l *Lock) runAndUnlock(p *Proc, ls lockState) bool {
+	res := p.run(ls.d)
+	ls.d.done.Store(1) // update-once: every run stores the same value
+	l.state.CAM(p, ls, lockState{d: ls.d, locked: false})
+	return res
+}
+
+// tryLockBlocking is the traditional mode: a single CAS attempt, no
+// descriptor, no logging; the thunk runs directly.
+func (l *Lock) tryLockBlocking(p *Proc, f Thunk) bool {
+	bx := l.state.b.Load()
+	if bx != nil && bx.v.locked {
+		return false
+	}
+	if !l.state.b.CompareAndSwap(bx, blockedBox) {
+		return false
+	}
+	if p.blk == nil {
+		p.maybeStall()
+	}
+	res := f(p)
+	l.state.b.Store(unblockedBox)
+	return res
+}
+
+// lockBlocking is a TTAS spin lock with yielding backoff. On an
+// oversubscribed machine the holder may be descheduled, in which case
+// waiters burn their timeslices spinning and yielding — exactly the
+// behaviour the paper measures for blocking strict locks.
+func (l *Lock) lockBlocking(p *Proc, f Thunk) bool {
+	spins := 0
+	for {
+		bx := l.state.b.Load()
+		if bx == nil || !bx.v.locked {
+			if l.state.b.CompareAndSwap(bx, blockedBox) {
+				if p.blk == nil {
+					p.maybeStall()
+				}
+				res := f(p)
+				l.state.b.Store(unblockedBox)
+				return res
+			}
+		}
+		spins++
+		if spins&3 == 0 {
+			runtime.Gosched()
+		} else {
+			for i := uint64(0); i < p.rand64()%64; i++ {
+				_ = i
+			}
+		}
+	}
+}

@@ -1,0 +1,561 @@
+package flock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTryLockRunsThunkAndReturnsResult(t *testing.T) {
+	for _, blocking := range []bool{false, true} {
+		rt := New()
+		rt.SetBlocking(blocking)
+		p := rt.Register()
+		var l Lock
+		ran := false
+		ok := l.TryLock(p, func(hp *Proc) bool { ran = true; return true })
+		if !ok || !ran {
+			t.Fatalf("blocking=%v: TryLock=(%v), ran=%v", blocking, ok, ran)
+		}
+		if l.Held() {
+			t.Fatalf("blocking=%v: lock still held after TryLock returned", blocking)
+		}
+		// Thunk returning false propagates false but still releases.
+		ok = l.TryLock(p, func(hp *Proc) bool { return false })
+		if ok {
+			t.Fatalf("blocking=%v: TryLock true for false thunk", blocking)
+		}
+		if l.Held() {
+			t.Fatalf("blocking=%v: lock leaked after false thunk", blocking)
+		}
+		p.Unregister()
+	}
+}
+
+func TestStrictLockRunsThunk(t *testing.T) {
+	for _, blocking := range []bool{false, true} {
+		rt := New()
+		rt.SetBlocking(blocking)
+		p := rt.Register()
+		var l Lock
+		got := l.Lock(p, func(hp *Proc) bool { return true })
+		if !got {
+			t.Fatalf("blocking=%v: strict Lock lost thunk result", blocking)
+		}
+		if l.Held() {
+			t.Fatalf("blocking=%v: strict Lock leaked", blocking)
+		}
+		p.Unregister()
+	}
+}
+
+// TestHelpingCompletesStalledCriticalSection is the core lock-free-locks
+// property: a thread that finds the lock taken completes the holder's
+// critical section instead of waiting. The holder's first run stalls
+// *after* its stores, on a branch guarded by an uncommitted (test-local)
+// CAS so that the helper does not stall too; the helper must finish the
+// work and release the lock while the holder is still asleep.
+func TestHelpingCompletesStalledCriticalSection(t *testing.T) {
+	rt := New()
+	var l Lock
+	var x Mutable[uint64]
+	var stall atomic.Int32
+	release := make(chan struct{})
+	holderDone := make(chan bool, 1)
+
+	thunk := func(hp *Proc) bool {
+		v := x.Load(hp)
+		x.Store(hp, v+41)
+		if stall.CompareAndSwap(0, 1) {
+			<-release // only the first run (the "crashed" holder) parks here
+		}
+		return true
+	}
+
+	go func() {
+		p := rt.Register()
+		defer p.Unregister()
+		p.Begin()
+		holderDone <- l.TryLock(p, thunk)
+		p.End()
+	}()
+
+	// Wait until the holder has installed its descriptor and stalled.
+	for stall.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	helper := rt.Register()
+	defer helper.Unregister()
+	helper.Begin()
+	got := l.TryLock(helper, func(hp *Proc) bool { return true })
+	helper.End()
+	if got {
+		t.Fatalf("helper's TryLock succeeded while lock was held")
+	}
+	// Helping must have completed the stalled critical section...
+	if v := x.Load(helper); v != 41 {
+		t.Fatalf("helper did not complete stalled thunk: x=%d, want 41", v)
+	}
+	// ...and released the lock, so a fresh acquisition now succeeds, all
+	// while the original holder is still asleep.
+	helper.Begin()
+	ok := l.TryLock(helper, func(hp *Proc) bool {
+		v := x.Load(hp)
+		x.Store(hp, v+1)
+		return true
+	})
+	helper.End()
+	if !ok {
+		t.Fatalf("lock not released by helping")
+	}
+	if v := x.Load(helper); v != 42 {
+		t.Fatalf("x=%d, want 42", v)
+	}
+
+	close(release)
+	if !<-holderDone {
+		t.Fatalf("stalled holder's TryLock reported failure for its own completed acquisition")
+	}
+	// The holder waking up and replaying must not double-apply.
+	if v := x.Load(helper); v != 42 {
+		t.Fatalf("holder replay double-applied: x=%d, want 42", v)
+	}
+}
+
+func TestBlockingModeWaitsForHolder(t *testing.T) {
+	// Sanity check of the contrast case: in blocking mode nobody helps; a
+	// TryLock against a held lock fails and the work is NOT done.
+	rt := New(Blocking())
+	var l Lock
+	var x Mutable[uint64]
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan bool, 1)
+
+	go func() {
+		p := rt.Register()
+		defer p.Unregister()
+		done <- l.TryLock(p, func(hp *Proc) bool {
+			x.Store(hp, 7)
+			close(entered)
+			<-release
+			return true
+		})
+	}()
+	<-entered
+
+	q := rt.Register()
+	defer q.Unregister()
+	if l.TryLock(q, func(hp *Proc) bool { return true }) {
+		t.Fatalf("blocking TryLock succeeded while held")
+	}
+	if !l.Held() {
+		t.Fatalf("blocking lock not held while holder inside")
+	}
+	close(release)
+	if !<-done {
+		t.Fatalf("holder failed")
+	}
+	if l.Held() {
+		t.Fatalf("blocking lock leaked")
+	}
+	if got := x.Load(q); got != 7 {
+		t.Fatalf("holder's store lost: %d", got)
+	}
+}
+
+func TestMutualExclusionCounter(t *testing.T) {
+	// N workers × M increments through strict locks must total N*M in
+	// both modes: the critical sections compose atomically.
+	for _, blocking := range []bool{false, true} {
+		rt := New()
+		rt.SetBlocking(blocking)
+		var l Lock
+		var c Mutable[uint64]
+		const workers = 8
+		const per = 500
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := rt.Register()
+				defer p.Unregister()
+				for i := 0; i < per; i++ {
+					p.Begin()
+					l.Lock(p, func(hp *Proc) bool {
+						v := c.Load(hp)
+						c.Store(hp, v+1)
+						return true
+					})
+					p.End()
+				}
+			}()
+		}
+		wg.Wait()
+		probe := rt.Register()
+		if got := c.Load(probe); got != workers*per {
+			t.Fatalf("blocking=%v: counter=%d, want %d", blocking, got, workers*per)
+		}
+		probe.Unregister()
+	}
+}
+
+func TestTryLockRetryLoopCounter(t *testing.T) {
+	// Same as above but with the idiomatic try-lock retry loop the data
+	// structures use.
+	for _, blocking := range []bool{false, true} {
+		rt := New()
+		rt.SetBlocking(blocking)
+		var l Lock
+		var c Mutable[uint64]
+		const workers = 6
+		const per = 300
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := rt.Register()
+				defer p.Unregister()
+				for i := 0; i < per; i++ {
+					for {
+						p.Begin()
+						ok := l.TryLock(p, func(hp *Proc) bool {
+							v := c.Load(hp)
+							c.Store(hp, v+1)
+							return true
+						})
+						p.End()
+						if ok {
+							break
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		probe := rt.Register()
+		if got := c.Load(probe); got != workers*per {
+			t.Fatalf("blocking=%v: counter=%d, want %d", blocking, got, workers*per)
+		}
+		probe.Unregister()
+	}
+}
+
+func TestNestedLocksBankTransfer(t *testing.T) {
+	// Classic composability test: transfers between accounts, each guarded
+	// by its own lock, taken nested in a fixed order. The total balance is
+	// invariant; lock-free mode must preserve it under helping.
+	for _, blocking := range []bool{false, true} {
+		rt := New()
+		rt.SetBlocking(blocking)
+		const nAccounts = 4
+		const workers = 6
+		const per = 400
+		var locks [nAccounts]Lock
+		var bal [nAccounts]Mutable[uint64]
+		for i := range bal {
+			bal[i].Init(1000)
+		}
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				p := rt.Register()
+				defer p.Unregister()
+				rng := uint64(w)*97 + 13
+				for i := 0; i < per; i++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					a := int(rng>>33) % nAccounts
+					b := int(rng>>13) % nAccounts
+					if a == b {
+						continue
+					}
+					lo, hi := a, b
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					from, to := a, b
+					for {
+						p.Begin()
+						ok := locks[lo].TryLock(p, func(hp *Proc) bool {
+							return locks[hi].TryLock(hp, func(hp2 *Proc) bool {
+								f := bal[from].Load(hp2)
+								if f == 0 {
+									return true // nothing to move, still done
+								}
+								tv := bal[to].Load(hp2)
+								bal[from].Store(hp2, f-1)
+								bal[to].Store(hp2, tv+1)
+								return true
+							})
+						})
+						p.End()
+						if ok {
+							break
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		probe := rt.Register()
+		var total uint64
+		for i := range bal {
+			total += bal[i].Load(probe)
+		}
+		probe.Unregister()
+		if total != nAccounts*1000 {
+			t.Fatalf("blocking=%v: total=%d, want %d", blocking, total, nAccounts*1000)
+		}
+	}
+}
+
+func TestUnlockEarlyRelease(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	defer p.Unregister()
+	var l Lock
+	ok := l.TryLock(p, func(hp *Proc) bool {
+		if !l.Held() {
+			t.Errorf("lock not held inside thunk")
+		}
+		l.Unlock(hp)
+		if l.Held() {
+			t.Errorf("lock still held after early Unlock")
+		}
+		return true
+	})
+	if !ok {
+		t.Fatalf("TryLock failed")
+	}
+	if l.Held() {
+		t.Fatalf("lock held after scope end")
+	}
+}
+
+func TestHandOverHandTraversal(t *testing.T) {
+	// Lock coupling over a small chain: take the next lock inside the
+	// current one, then release the current early.
+	rt := New()
+	p := rt.Register()
+	defer p.Unregister()
+	const n = 5
+	var locks [n]Lock
+	var visited [n]Mutable[bool]
+
+	var step func(i int) Thunk
+	step = func(i int) Thunk {
+		return func(hp *Proc) bool {
+			visited[i].Store(hp, true)
+			if i+1 == n {
+				return true
+			}
+			ok := locks[i+1].TryLock(hp, step(i+1))
+			locks[i].Unlock(hp)
+			return ok
+		}
+	}
+	if !locks[0].TryLock(p, step(0)) {
+		t.Fatalf("hand-over-hand traversal failed")
+	}
+	for i := 0; i < n; i++ {
+		if !visited[i].Load(p) {
+			t.Fatalf("node %d not visited", i)
+		}
+		if locks[i].Held() {
+			t.Fatalf("lock %d leaked", i)
+		}
+	}
+}
+
+func TestTryLockContentionOnlyOneWins(t *testing.T) {
+	// Many workers race a single TryLock (no retry): at least one must
+	// win per round, and the protected counter must equal the number of
+	// successful acquisitions.
+	rt := New()
+	var l Lock
+	var c Mutable[uint64]
+	var wins atomic.Uint64
+	const workers = 8
+	const rounds = 300
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			for i := 0; i < rounds; i++ {
+				p.Begin()
+				if l.TryLock(p, func(hp *Proc) bool {
+					v := c.Load(hp)
+					c.Store(hp, v+1)
+					return true
+				}) {
+					wins.Add(1)
+				}
+				p.End()
+			}
+		}()
+	}
+	wg.Wait()
+	probe := rt.Register()
+	defer probe.Unregister()
+	if got := c.Load(probe); got != wins.Load() {
+		t.Fatalf("counter=%d but %d successful acquisitions", got, wins.Load())
+	}
+	if wins.Load() == 0 {
+		t.Fatalf("no acquisition ever succeeded")
+	}
+}
+
+func TestLockFreeProgressUnderPermanentStall(t *testing.T) {
+	// A holder stalls forever (simulating a crashed process). In
+	// lock-free mode every other worker keeps completing operations on
+	// the same lock. This is the paper's core progress claim.
+	rt := New()
+	var l Lock
+	var c Mutable[uint64]
+	var stall atomic.Int32
+	never := make(chan struct{}) // never closed: holder sleeps forever
+
+	go func() {
+		p := rt.Register()
+		p.Begin()
+		l.TryLock(p, func(hp *Proc) bool {
+			v := c.Load(hp)
+			c.Store(hp, v+1)
+			if stall.CompareAndSwap(0, 1) {
+				<-never
+			}
+			return true
+		})
+		// unreachable
+	}()
+	for stall.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	const workers = 4
+	const per = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			for i := 0; i < per; i++ {
+				for {
+					p.Begin()
+					ok := l.TryLock(p, func(hp *Proc) bool {
+						v := c.Load(hp)
+						c.Store(hp, v+1)
+						return true
+					})
+					p.End()
+					if ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("workers made no progress with a permanently stalled holder")
+	}
+	probe := rt.Register()
+	defer probe.Unregister()
+	if got := c.Load(probe); got != workers*per+1 {
+		t.Fatalf("counter=%d, want %d", got, workers*per+1)
+	}
+}
+
+func TestStallInjectionPreservesCorrectness(t *testing.T) {
+	// With aggressive injection, counters must still be exact in both
+	// modes: stalls change scheduling, never effects.
+	for _, blocking := range []bool{false, true} {
+		rt := New()
+		rt.SetBlocking(blocking)
+		rt.SetStallInjection(40)
+		var l Lock
+		var c Mutable[uint64]
+		const workers = 4
+		const per = 100
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := rt.Register()
+				defer p.Unregister()
+				for i := 0; i < per; i++ {
+					for {
+						p.Begin()
+						ok := l.TryLock(p, func(hp *Proc) bool {
+							v := c.Load(hp)
+							c.Store(hp, v+1)
+							return true
+						})
+						p.End()
+						if ok {
+							break
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		probe := rt.Register()
+		if got := c.Load(probe); got != workers*per {
+			t.Fatalf("blocking=%v: counter=%d, want %d", blocking, got, workers*per)
+		}
+		probe.Unregister()
+	}
+}
+
+func TestModeFlagReflectedByRuntime(t *testing.T) {
+	rt := New()
+	if rt.Blocking() {
+		t.Fatalf("default mode should be lock-free")
+	}
+	rt.SetBlocking(true)
+	if !rt.Blocking() {
+		t.Fatalf("SetBlocking(true) not visible")
+	}
+	rt2 := New(Blocking())
+	if !rt2.Blocking() {
+		t.Fatalf("Blocking() option ignored")
+	}
+}
+
+func TestHeldSnapshot(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	defer p.Unregister()
+	var l Lock
+	if l.Held() {
+		t.Fatalf("zero-value lock reports held")
+	}
+	l.TryLock(p, func(hp *Proc) bool {
+		if !l.Held() {
+			t.Errorf("Held false inside critical section")
+		}
+		return true
+	})
+	if l.Held() {
+		t.Fatalf("Held true after release")
+	}
+}

@@ -1,0 +1,89 @@
+package flock
+
+import "sync/atomic"
+
+// logBlockLen is the number of entries per log block (the Flock default).
+// When a run of a thunk exhausts a block, the next block is linked in
+// idempotently: the first run to need it CASes a fresh block into next and
+// every other run adopts the winner.
+const logBlockLen = 7
+
+// logEntry is one committed value. The pointer-to-entry in a log slot is
+// CAS'd from nil exactly once; the entry itself is immutable afterwards,
+// which is what lets helpers read committed values without synchronization
+// beyond the initial CAS.
+type logEntry struct {
+	val any
+}
+
+// logBlock is a fixed-size chunk of a thunk's shared log.
+type logBlock struct {
+	entries [logBlockLen]atomic.Pointer[logEntry]
+	next    atomic.Pointer[logBlock]
+}
+
+// commit implements the paper's commitValue (Algorithm 2, line 31). It
+// attempts to record v at the Proc's current log position and returns the
+// value actually committed there together with whether this call was the
+// first to commit. Outside any thunk (no installed log) it is a
+// pass-through.
+//
+// The read-before-CAS fast path is the compare-and-compare-and-swap
+// optimization from §6: under heavy helping most slots are already
+// committed and the CAS (and its cache-line invalidation) can be skipped.
+func (p *Proc) commit(v any) (any, bool) {
+	blk := p.blk
+	if blk == nil {
+		return v, true
+	}
+	if p.idx == logBlockLen {
+		blk = p.advanceBlock(blk)
+	}
+	slot := &blk.entries[p.idx]
+	p.idx++
+	if p.rt.avoidCAS {
+		if e := slot.Load(); e != nil {
+			return e.val, false
+		}
+	}
+	mine := &logEntry{val: v}
+	if slot.CompareAndSwap(nil, mine) {
+		return v, true
+	}
+	return slot.Load().val, false
+}
+
+// advanceBlock moves the Proc's cursor to the next log block, creating it
+// idempotently if this run is the first to need it.
+func (p *Proc) advanceBlock(blk *logBlock) *logBlock {
+	next := blk.next.Load()
+	if next == nil {
+		nb := &logBlock{}
+		if blk.next.CompareAndSwap(nil, nb) {
+			next = nb
+		} else {
+			next = blk.next.Load()
+		}
+	}
+	p.blk = next
+	p.idx = 0
+	return next
+}
+
+// Commit exposes commitValue for user code that must agree on a
+// non-deterministic value across helpers (the paper's example is a value
+// derived from processor noise; a practical one is a random level or
+// priority). It returns the committed value and whether the caller was
+// first. Outside a thunk it returns (v, true).
+func (p *Proc) Commit(v any) (any, bool) { return p.commit(v) }
+
+// CommitValue is a typed convenience wrapper around Proc.Commit.
+func CommitValue[V any](p *Proc, v V) (V, bool) {
+	c, first := p.commit(v)
+	return c.(V), first
+}
+
+// InThunk reports whether the Proc is currently executing inside a
+// descriptor's thunk (i.e. whether loggable operations are being
+// committed). Exposed for assertions and tests.
+func (p *Proc) InThunk() bool { return p.blk != nil }

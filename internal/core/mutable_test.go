@@ -1,0 +1,263 @@
+package flock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMutableZeroValue(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	defer p.Unregister()
+	var m Mutable[uint64]
+	if got := m.Load(p); got != 0 {
+		t.Fatalf("zero Mutable loads %d", got)
+	}
+	var mp Mutable[*int]
+	if got := mp.Load(p); got != nil {
+		t.Fatalf("zero pointer Mutable loads %v", got)
+	}
+}
+
+func TestMutableInitAndDirectOps(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	defer p.Unregister()
+	var m Mutable[int]
+	m.Init(10)
+	if got := m.Load(p); got != 10 {
+		t.Fatalf("after Init, Load = %d", got)
+	}
+	m.Store(p, 20)
+	if got := m.Load(p); got != 20 {
+		t.Fatalf("after Store, Load = %d", got)
+	}
+	m.CAM(p, 20, 30)
+	if got := m.Load(p); got != 30 {
+		t.Fatalf("after matching CAM, Load = %d", got)
+	}
+	m.CAM(p, 999, 40) // mismatched expectation: no effect
+	if got := m.Load(p); got != 30 {
+		t.Fatalf("mismatched CAM changed value to %d", got)
+	}
+}
+
+func TestMutableLoadCommitsInsideThunk(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	q := rt.Register()
+	defer p.Unregister()
+	defer q.Unregister()
+
+	var m Mutable[int]
+	m.Init(1)
+
+	head, exitP := enterFakeThunk(p)
+	got1 := m.Load(p)
+	exitP()
+
+	// Mutate the location between the two "runs".
+	m.Store(q, 2)
+
+	// A replay must observe the committed value, not the current one.
+	exitQ := enterExistingLog(q, head)
+	got2 := m.Load(q)
+	exitQ()
+	if got1 != 1 || got2 != 1 {
+		t.Fatalf("committed load: run1=%d run2=%d, want 1,1", got1, got2)
+	}
+}
+
+func TestMutableStoreAppliesOnceAcrossRuns(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	q := rt.Register()
+	defer p.Unregister()
+	defer q.Unregister()
+
+	var m Mutable[int]
+	m.Init(5)
+
+	// Run 1 performs load+store of 6.
+	head, exitP := enterFakeThunk(p)
+	v := m.Load(p)
+	m.Store(p, v+1)
+	exitP()
+	if got := m.Load(p); got != 6 {
+		t.Fatalf("after run1, value = %d", got)
+	}
+
+	// An unrelated operation moves the value on.
+	m.Store(p, 100)
+
+	// Run 2 replays the same thunk; its store must NOT clobber 100,
+	// because the committed old box is long gone.
+	exitQ := enterExistingLog(q, head)
+	v2 := m.Load(q)
+	m.Store(q, v2+1)
+	exitQ()
+	if v2 != 5 {
+		t.Fatalf("replay loaded %d, want committed 5", v2)
+	}
+	if got := m.Load(p); got != 100 {
+		t.Fatalf("replayed store clobbered value: %d, want 100", got)
+	}
+}
+
+func TestMutableCAMIdempotentAcrossRuns(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	q := rt.Register()
+	defer p.Unregister()
+	defer q.Unregister()
+
+	var m Mutable[int]
+	m.Init(1)
+
+	head, exitP := enterFakeThunk(p)
+	m.CAM(p, 1, 2)
+	exitP()
+	if got := m.Load(p); got != 2 {
+		t.Fatalf("CAM did not apply: %d", got)
+	}
+
+	// Value goes back to 1 through legitimate later operations; the boxed
+	// representation makes this safe even though the *value* recurs (the
+	// paper requires ABA-freedom; boxes provide it).
+	m.Store(p, 1)
+
+	exitQ := enterExistingLog(q, head)
+	m.CAM(q, 1, 2) // replay: must have no effect despite value matching
+	exitQ()
+	if got := m.Load(p); got != 1 {
+		t.Fatalf("replayed CAM re-applied despite ABA: got %d, want 1", got)
+	}
+}
+
+func TestMutableConcurrentLoadStoreLinearizable(t *testing.T) {
+	// Direct-mode (no thunk) loads and stores: values seen must always be
+	// ones that were stored, and a reader polling must eventually see the
+	// final value (publication).
+	rt := New()
+	var m Mutable[uint64]
+	m.Init(0)
+
+	const writers = 4
+	const perWriter = 1000
+	var wg sync.WaitGroup
+	valid := func(v uint64) bool {
+		return v == 0 || (v >= 1 && v <= writers*perWriter+writers*1_000_000)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			for i := 1; i <= perWriter; i++ {
+				m.Store(p, uint64(w*1_000_000+i))
+			}
+		}(w)
+	}
+	var stop sync.WaitGroup
+	stop.Add(1)
+	bad := make(chan uint64, 1)
+	done := make(chan struct{})
+	go func() {
+		defer stop.Done()
+		p := rt.Register()
+		defer p.Unregister()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if v := m.Load(p); !valid(v) {
+				select {
+				case bad <- v:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	stop.Wait()
+	select {
+	case v := <-bad:
+		t.Fatalf("reader observed never-stored value %d", v)
+	default:
+	}
+}
+
+func TestUpdateOnceSemantics(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	q := rt.Register()
+	defer p.Unregister()
+	defer q.Unregister()
+
+	var u UpdateOnce[bool]
+	if u.Load(p) {
+		t.Fatalf("zero UpdateOnce loads true")
+	}
+
+	// Inside a thunk: the load commits the value; the store is a plain
+	// write that is idempotent because all runs write the same value.
+	head, exitP := enterFakeThunk(p)
+	before := u.Load(p)
+	u.Store(p, true)
+	exitP()
+	if before {
+		t.Fatalf("load before update saw true")
+	}
+	if !u.Load(p) {
+		t.Fatalf("update-once store did not take effect")
+	}
+
+	// Replay: load commits the same (old) value; store rewrites true.
+	exitQ := enterExistingLog(q, head)
+	b2 := u.Load(q)
+	u.Store(q, true)
+	exitQ()
+	if b2 {
+		t.Fatalf("replayed load disagreed with committed value")
+	}
+	if !u.Load(p) {
+		t.Fatalf("value lost after replay")
+	}
+}
+
+func TestUpdateOnceInit(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	defer p.Unregister()
+	var u UpdateOnce[int]
+	u.Init(9)
+	if got := u.Load(p); got != 9 {
+		t.Fatalf("after Init, Load = %d", got)
+	}
+}
+
+func TestMutablePointerValues(t *testing.T) {
+	rt := New()
+	p := rt.Register()
+	defer p.Unregister()
+	type node struct{ k int }
+	var m Mutable[*node]
+	a, b := &node{1}, &node{2}
+	m.Store(p, a)
+	if m.Load(p) != a {
+		t.Fatalf("pointer store/load mismatch")
+	}
+	m.CAM(p, a, b)
+	if m.Load(p) != b {
+		t.Fatalf("pointer CAM failed")
+	}
+	m.CAM(p, a, nil) // stale expectation
+	if m.Load(p) != b {
+		t.Fatalf("stale pointer CAM applied")
+	}
+}

@@ -1,0 +1,134 @@
+package flock
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"flock/internal/epoch"
+)
+
+// Runtime owns the global state shared by all Procs: the epoch-based
+// memory manager and the mode flag. A program typically creates one
+// Runtime per concurrent structure family (or one overall).
+type Runtime struct {
+	epochs   *epoch.Manager
+	blocking atomic.Bool
+	avoidCAS bool
+	// stallEvery, when nonzero, makes every stallEvery-th successful
+	// top-level lock acquisition yield the processor while holding the
+	// lock — an injected descheduling event (the phenomenon behind the
+	// paper's oversubscription results, which OS quanta on a large
+	// machine produce naturally). 0 disables injection.
+	stallEvery atomic.Uint32
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// Blocking starts the runtime in blocking (traditional test-and-set lock)
+// mode instead of lock-free mode.
+func Blocking() Option { return func(rt *Runtime) { rt.blocking.Store(true) } }
+
+// NoCCAS disables the compare-and-compare-and-swap optimization (§6); used
+// by the ablation benchmarks.
+func NoCCAS() Option { return func(rt *Runtime) { rt.avoidCAS = false } }
+
+// New creates a Runtime. The default mode is lock-free with the
+// compare-and-compare-and-swap optimization enabled.
+func New(opts ...Option) *Runtime {
+	rt := &Runtime{epochs: epoch.NewManager(), avoidCAS: true}
+	for _, o := range opts {
+		o(rt)
+	}
+	return rt
+}
+
+// Blocking reports whether locks currently run in blocking mode.
+func (rt *Runtime) Blocking() bool { return rt.blocking.Load() }
+
+// SetBlocking switches between blocking and lock-free mode. It must not be
+// called while operations are in flight: a thunk's helpers must all agree
+// on the mode, and the flag is deliberately not committed to logs.
+func (rt *Runtime) SetBlocking(v bool) { rt.blocking.Store(v) }
+
+// Epochs exposes the runtime's epoch manager (used by tests and by
+// structures that manage auxiliary memory).
+func (rt *Runtime) Epochs() *epoch.Manager { return rt.epochs }
+
+// SetStallInjection makes every n-th successful top-level lock
+// acquisition yield the processor while inside the critical section,
+// simulating a thread descheduled partway through an update (§8, the
+// oversubscription experiments). n = 0 disables injection. In lock-free
+// mode other threads help the stalled critical section to completion; in
+// blocking mode they must wait for the stalled goroutine to be
+// rescheduled — which is the contrast the injection exposes.
+func (rt *Runtime) SetStallInjection(n int) { rt.stallEvery.Store(uint32(n)) }
+
+// Proc is the per-worker execution context: the paper's "process". It
+// carries the current thunk log and position, the worker's epoch slot and
+// a private RNG. A Proc must only be used by one goroutine at a time.
+type Proc struct {
+	rt     *Runtime
+	blk    *logBlock // current log block; nil outside thunks
+	idx    int       // next position within blk
+	slot   *epoch.Slot
+	rng    uint64
+	stalls uint32 // acquisitions since the last injected stall
+
+	_ [32]byte // discourage false sharing between adjacent Procs
+}
+
+// Register creates a Proc for the calling worker goroutine.
+func (rt *Runtime) Register() *Proc {
+	return &Proc{rt: rt, slot: rt.epochs.Register(), rng: 0x9e3779b97f4a7c15}
+}
+
+// Unregister releases the Proc's epoch slot. Pending retirements are
+// handed to the manager.
+func (p *Proc) Unregister() {
+	p.slot.Drain()
+	p.slot.Unregister()
+}
+
+// Begin enters an epoch guard. Every data structure operation must run
+// between Begin and End so that memory retired by concurrent operations
+// stays valid while this worker might still reference it. Guards nest.
+func (p *Proc) Begin() { p.slot.Enter() }
+
+// End exits the epoch guard opened by Begin.
+func (p *Proc) End() { p.slot.Exit() }
+
+// Runtime returns the Proc's runtime.
+func (p *Proc) Runtime() *Runtime { return p.rt }
+
+// Drain forces epoch advancement and runs ripe retirement callbacks; for
+// tests and shutdown paths. Must be called outside any guard.
+func (p *Proc) Drain() { p.slot.Drain() }
+
+// maybeStall yields the processor (several times, approximating losing a
+// scheduling quantum) on every stallEvery-th call, while the caller holds
+// a lock. Only invoked from top-level acquisitions; it performs no
+// logged operations, so replays of the surrounding code stay aligned.
+func (p *Proc) maybeStall() {
+	n := p.rt.stallEvery.Load()
+	if n == 0 {
+		return
+	}
+	p.stalls++
+	if p.stalls >= n {
+		p.stalls = 0
+		for i := 0; i < 8; i++ {
+			runtime.Gosched()
+		}
+	}
+}
+
+// rand64 is a splitmix64 step over the Proc's private state; used for
+// backoff jitter. Never used inside thunks (it is not committed).
+func (p *Proc) rand64() uint64 {
+	p.rng += 0x9e3779b97f4a7c15
+	z := p.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,307 @@
+// Package epoch implements epoch-based reclamation (EBR) in the style used
+// by the Flock library ("Lock-Free Locks Revisited", PPoPP 2022, §6).
+//
+// Every operation on a concurrent structure runs inside a guard
+// (Enter/Exit). Objects unlinked from a structure are handed to Retire,
+// which defers a reclamation callback until every guard that could have
+// observed the object has exited. Epochs advance when all active guards
+// have caught up with the global epoch.
+//
+// Two Flock-specific requirements shape the API:
+//
+//   - Helper epoch lowering. When a process helps a thunk that was started
+//     by another process it must take on the minimum of its own epoch and
+//     the thunk's birth epoch, so that anything the thunk read when it
+//     began stays unreclaimed while the helper replays it. Lower and
+//     Restore implement this.
+//
+//   - Quiescence. A registered process that is between operations announces
+//     a sentinel so it never holds back reclamation.
+//
+// In Go the garbage collector already rules out use-after-free; EBR here
+// gates *reuse* (pooled objects, user callbacks) and provides the paper's
+// retire semantics. The implementation is nevertheless a complete,
+// self-contained EBR manager.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Quiescent is announced by slots that are not inside any guard.
+const Quiescent = ^uint64(0)
+
+// advanceEvery controls how many guard entries a slot performs between
+// attempts to advance the global epoch and reclaim its retired batches.
+const advanceEvery = 64
+
+// Manager coordinates a set of registered slots (one per worker).
+type Manager struct {
+	global atomic.Uint64
+
+	// slots is a copy-on-write snapshot of all registered slots, so that
+	// scans during TryAdvance are lock-free. Registration is rare.
+	slots atomic.Pointer[[]*Slot]
+
+	mu      sync.Mutex // serializes Register/Unregister
+	orphans []batch    // retired batches from unregistered slots
+}
+
+// batch is a group of deferred reclamation callbacks retired in one epoch.
+type batch struct {
+	epoch uint64
+	fns   []func()
+}
+
+// Slot is a single worker's announcement record plus its local retire lists.
+// A Slot must only be used by the goroutine that registered it.
+type Slot struct {
+	announced atomic.Uint64
+	mgr       *Manager
+	dead      atomic.Bool
+
+	// Goroutine-local state (no synchronization needed).
+	pending []batch
+	cur     batch
+	entries uint64
+	depth   int // nested guard depth
+
+	_ [40]byte // keep hot fields of adjacent slots off one cache line
+}
+
+// NewManager returns an empty manager with the global epoch at 2 so that
+// "epoch-2" arithmetic never underflows.
+func NewManager() *Manager {
+	m := &Manager{}
+	m.global.Store(2)
+	empty := make([]*Slot, 0)
+	m.slots.Store(&empty)
+	return m
+}
+
+// GlobalEpoch returns the current global epoch.
+func (m *Manager) GlobalEpoch() uint64 { return m.global.Load() }
+
+// Register adds a new slot for the calling worker. The slot starts
+// quiescent.
+func (m *Manager) Register() *Slot {
+	s := &Slot{mgr: m}
+	s.announced.Store(Quiescent)
+	m.mu.Lock()
+	old := *m.slots.Load()
+	next := make([]*Slot, len(old), len(old)+1)
+	copy(next, old)
+	next = append(next, s)
+	m.slots.Store(&next)
+	m.mu.Unlock()
+	return s
+}
+
+// Unregister removes the slot from epoch scans and hands its pending
+// retire batches to the manager. The slot must be quiescent.
+func (s *Slot) Unregister() {
+	if s.depth != 0 {
+		panic("epoch: Unregister inside a guard")
+	}
+	s.flushCur()
+	m := s.mgr
+	s.dead.Store(true)
+	s.announced.Store(Quiescent)
+	m.mu.Lock()
+	old := *m.slots.Load()
+	next := make([]*Slot, 0, len(old))
+	for _, o := range old {
+		if o != s {
+			next = append(next, o)
+		}
+	}
+	m.slots.Store(&next)
+	m.orphans = append(m.orphans, s.pending...)
+	s.pending = nil
+	m.mu.Unlock()
+}
+
+// Enter begins a guard: the slot announces the current global epoch.
+// Guards nest; only the outermost Enter announces.
+func (s *Slot) Enter() {
+	if s.depth == 0 {
+		// Announce-then-recheck: if the global epoch moved between the
+		// load and the store we may announce a stale epoch, which is
+		// safe (merely conservative), so a single announcement suffices.
+		s.announced.Store(s.mgr.global.Load())
+		s.entries++
+		if s.entries%advanceEvery == 0 {
+			s.mgr.TryAdvance()
+			s.reclaim()
+		}
+	}
+	s.depth++
+}
+
+// Exit ends a guard. The outermost Exit returns the slot to quiescence.
+func (s *Slot) Exit() {
+	s.depth--
+	if s.depth < 0 {
+		panic("epoch: Exit without matching Enter")
+	}
+	if s.depth == 0 {
+		s.announced.Store(Quiescent)
+	}
+}
+
+// Depth reports the current guard nesting depth (for assertions in tests).
+func (s *Slot) Depth() int { return s.depth }
+
+// Announced returns the slot's announced epoch (Quiescent if outside).
+func (s *Slot) Announced() uint64 { return s.announced.Load() }
+
+// Lower moves the slot's announcement down to e if e is lower, returning
+// the previous announcement so the caller can Restore it. It implements
+// the paper's rule that a helper takes on the minimum of its epoch and the
+// epoch of the thunk it is helping. Must be called inside a guard.
+func (s *Slot) Lower(e uint64) (prev uint64) {
+	prev = s.announced.Load()
+	if e < prev {
+		s.announced.Store(e)
+	}
+	return prev
+}
+
+// Restore resets the announcement after a Lower.
+func (s *Slot) Restore(prev uint64) { s.announced.Store(prev) }
+
+// Retire defers fn until every guard active at (or lowered to) the current
+// epoch has exited, plus the usual two-epoch grace period. fn may be nil,
+// in which case Retire is a no-op (the GC reclaims the object); callers use
+// that form purely for its timing semantics in tests and pools.
+func (s *Slot) Retire(fn func()) {
+	if fn == nil {
+		return
+	}
+	e := s.mgr.global.Load()
+	if s.cur.fns != nil && s.cur.epoch != e {
+		s.flushCur()
+	}
+	s.cur.epoch = e
+	s.cur.fns = append(s.cur.fns, fn)
+	if len(s.cur.fns) >= 32 {
+		s.flushCur()
+		s.mgr.TryAdvance()
+		s.reclaim()
+	}
+}
+
+func (s *Slot) flushCur() {
+	if s.cur.fns != nil {
+		s.pending = append(s.pending, s.cur)
+		s.cur = batch{}
+	}
+}
+
+// minAnnounced scans all slots and returns the minimum announced epoch.
+func (m *Manager) minAnnounced() uint64 {
+	min := Quiescent
+	for _, s := range *m.slots.Load() {
+		if a := s.announced.Load(); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// TryAdvance bumps the global epoch if every registered slot is either
+// quiescent or has caught up with it. Returns whether it advanced.
+func (m *Manager) TryAdvance() bool {
+	g := m.global.Load()
+	for _, s := range *m.slots.Load() {
+		if a := s.announced.Load(); a < g {
+			return false
+		}
+	}
+	return m.global.CompareAndSwap(g, g+1)
+}
+
+// safeBefore returns the epoch bound below which retired batches may be
+// reclaimed. A batch retired in epoch r is safe once every active guard
+// announced an epoch strictly greater than r: such guards entered after
+// the global epoch passed r, hence after the unlink that preceded the
+// retire, so they can never have found the object. With no active guards,
+// everything retired before the current epoch is safe.
+func (m *Manager) safeBefore() uint64 {
+	min := m.minAnnounced()
+	if min == Quiescent {
+		return m.global.Load()
+	}
+	return min
+}
+
+// reclaim runs the slot's ripe batches.
+func (s *Slot) reclaim() {
+	bound := s.mgr.safeBefore()
+	i := 0
+	for ; i < len(s.pending); i++ {
+		if s.pending[i].epoch >= bound {
+			break
+		}
+		for _, fn := range s.pending[i].fns {
+			fn()
+		}
+	}
+	if i > 0 {
+		s.pending = append(s.pending[:0], s.pending[i:]...)
+	}
+	s.mgr.reclaimOrphans(bound)
+}
+
+func (m *Manager) reclaimOrphans(bound uint64) {
+	// Opportunistic: if another worker is registering or reclaiming, skip
+	// this round rather than serialize the hot path.
+	if !m.mu.TryLock() {
+		return
+	}
+	var ripe []batch
+	if len(m.orphans) > 0 {
+		var keep []batch
+		for _, b := range m.orphans {
+			if b.epoch < bound {
+				ripe = append(ripe, b)
+			} else {
+				keep = append(keep, b)
+			}
+		}
+		m.orphans = keep
+	}
+	m.mu.Unlock()
+	for _, b := range ripe {
+		for _, fn := range b.fns {
+			fn()
+		}
+	}
+}
+
+// Drain force-advances the epoch and reclaims everything that becomes
+// safe. It is intended for shutdown and tests; it requires all slots to be
+// quiescent to make progress and panics if called from inside a guard.
+func (s *Slot) Drain() {
+	if s.depth != 0 {
+		panic("epoch: Drain inside a guard")
+	}
+	s.flushCur()
+	for i := 0; i < 4; i++ {
+		s.mgr.TryAdvance()
+		s.reclaim()
+		if len(s.pending) == 0 {
+			break
+		}
+	}
+}
+
+// PendingRetires reports how many callbacks are queued (tests only).
+func (s *Slot) PendingRetires() int {
+	n := len(s.cur.fns)
+	for _, b := range s.pending {
+		n += len(b.fns)
+	}
+	return n
+}

@@ -1,0 +1,342 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegisterStartsQuiescent(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	if got := s.Announced(); got != Quiescent {
+		t.Fatalf("new slot announced %d, want Quiescent", got)
+	}
+	if s.Depth() != 0 {
+		t.Fatalf("new slot depth %d, want 0", s.Depth())
+	}
+}
+
+func TestEnterAnnouncesGlobal(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	s.Enter()
+	if got, want := s.Announced(), m.GlobalEpoch(); got != want {
+		t.Fatalf("announced %d, want global %d", got, want)
+	}
+	s.Exit()
+	if got := s.Announced(); got != Quiescent {
+		t.Fatalf("after Exit announced %d, want Quiescent", got)
+	}
+}
+
+func TestGuardsNest(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	s.Enter()
+	e := s.Announced()
+	s.Enter()
+	s.Enter()
+	if s.Depth() != 3 {
+		t.Fatalf("depth %d, want 3", s.Depth())
+	}
+	if s.Announced() != e {
+		t.Fatalf("nested Enter changed announcement")
+	}
+	s.Exit()
+	s.Exit()
+	if s.Announced() != e {
+		t.Fatalf("inner Exit cleared announcement early")
+	}
+	s.Exit()
+	if s.Announced() != Quiescent {
+		t.Fatalf("outermost Exit did not quiesce")
+	}
+}
+
+func TestExitWithoutEnterPanics(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Exit without Enter did not panic")
+		}
+	}()
+	s.Exit()
+}
+
+func TestAdvanceBlockedByLaggingGuard(t *testing.T) {
+	m := NewManager()
+	a := m.Register()
+	b := m.Register()
+	a.Enter() // announces current epoch g
+	g := m.GlobalEpoch()
+	if !m.TryAdvance() {
+		t.Fatalf("advance should succeed when all guards are current")
+	}
+	if m.GlobalEpoch() != g+1 {
+		t.Fatalf("global %d, want %d", m.GlobalEpoch(), g+1)
+	}
+	// a still announces g < g+1, so a second advance must fail.
+	if m.TryAdvance() {
+		t.Fatalf("advance should be blocked by lagging guard")
+	}
+	b.Enter() // announces g+1; does not unblock a's lag
+	if m.TryAdvance() {
+		t.Fatalf("advance should still be blocked")
+	}
+	a.Exit()
+	if !m.TryAdvance() {
+		t.Fatalf("advance should succeed once lagging guard exits")
+	}
+	b.Exit()
+}
+
+func TestRetireRunsAfterGracePeriod(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	var freed atomic.Int32
+	s.Enter()
+	s.Retire(func() { freed.Add(1) })
+	s.Exit()
+	if freed.Load() != 0 {
+		t.Fatalf("retire callback ran inside the retiring epoch")
+	}
+	s.Drain()
+	if freed.Load() != 1 {
+		t.Fatalf("retire callback did not run after drain: %d", freed.Load())
+	}
+}
+
+func TestRetireNilIsNoop(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	s.Enter()
+	s.Retire(nil)
+	s.Exit()
+	if n := s.PendingRetires(); n != 0 {
+		t.Fatalf("nil retire queued %d callbacks", n)
+	}
+}
+
+func TestRetireBlockedByConcurrentGuard(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	holder := m.Register()
+
+	holder.Enter() // pins the current epoch
+	s.Enter()
+	var freed atomic.Int32
+	s.Retire(func() { freed.Add(1) })
+	s.Exit()
+
+	// With holder still inside a guard announced at the retire epoch, the
+	// callback must not run no matter how hard we try.
+	s.flushCur()
+	for i := 0; i < 10; i++ {
+		m.TryAdvance()
+		s.reclaim()
+	}
+	if freed.Load() != 0 {
+		t.Fatalf("retire callback ran while a guard could still hold the object")
+	}
+	holder.Exit()
+	s.Drain()
+	if freed.Load() != 1 {
+		t.Fatalf("retire callback did not run after guard exit")
+	}
+}
+
+func TestLowerAndRestore(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	// Advance a few epochs first.
+	for i := 0; i < 5; i++ {
+		m.TryAdvance()
+	}
+	s.Enter()
+	cur := s.Announced()
+	prev := s.Lower(2)
+	if prev != cur {
+		t.Fatalf("Lower returned %d, want previous announcement %d", prev, cur)
+	}
+	if s.Announced() != 2 {
+		t.Fatalf("announced %d after Lower(2)", s.Announced())
+	}
+	// Lowering to a higher epoch must not raise the announcement.
+	p2 := s.Lower(100)
+	if s.Announced() != 2 || p2 != 2 {
+		t.Fatalf("Lower raised announcement to %d", s.Announced())
+	}
+	s.Restore(prev)
+	if s.Announced() != cur {
+		t.Fatalf("Restore did not reinstate announcement")
+	}
+	s.Exit()
+}
+
+func TestLoweredGuardBlocksReclaim(t *testing.T) {
+	m := NewManager()
+	helper := m.Register()
+	s := m.Register()
+
+	birth := m.GlobalEpoch() // descriptor's birth epoch
+	for i := 0; i < 4; i++ {
+		m.TryAdvance()
+	}
+
+	helper.Enter()
+	prev := helper.Lower(birth)
+
+	s.Enter()
+	var freed atomic.Int32
+	s.Retire(func() { freed.Add(1) })
+	s.Exit()
+	s.flushCur()
+	for i := 0; i < 10; i++ {
+		m.TryAdvance()
+		s.reclaim()
+	}
+	if freed.Load() != 0 {
+		t.Fatalf("lowered helper did not hold back reclamation")
+	}
+	helper.Restore(prev)
+	helper.Exit()
+	s.Drain()
+	if freed.Load() != 1 {
+		t.Fatalf("callback never ran after helper restored")
+	}
+}
+
+func TestUnregisterHandsOffPending(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	other := m.Register()
+	var freed atomic.Int32
+	s.Enter()
+	s.Retire(func() { freed.Add(1) })
+	s.Exit()
+	s.Unregister()
+	if freed.Load() != 0 {
+		t.Fatalf("unregister ran callbacks synchronously")
+	}
+	other.Drain()
+	if freed.Load() != 1 {
+		t.Fatalf("orphaned retire batch never reclaimed")
+	}
+}
+
+func TestUnregisterInsideGuardPanics(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	s.Enter()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Unregister inside guard did not panic")
+		}
+	}()
+	s.Unregister()
+}
+
+func TestManyRetiresTriggerAutomaticReclaim(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	var freed atomic.Int32
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		s.Enter()
+		s.Retire(func() { freed.Add(1) })
+		s.Exit()
+	}
+	if freed.Load() == 0 {
+		t.Fatalf("no automatic reclamation after %d retires", n)
+	}
+	s.Drain()
+	if freed.Load() != n {
+		t.Fatalf("freed %d of %d after drain", freed.Load(), n)
+	}
+}
+
+// TestConcurrentStress exercises registration, guards, retirement and
+// advancing from many goroutines, and checks the core EBR safety property:
+// a callback must never run while any guard that could reference its object
+// is active. We model this by recording, for each retired object, the set
+// of guard "sessions" overlapping its unlink; the callback asserts all have
+// exited.
+func TestConcurrentStress(t *testing.T) {
+	m := NewManager()
+	const workers = 8
+	const opsPer = 2_000
+
+	var wg sync.WaitGroup
+	var violations atomic.Int32
+	var totalFreed atomic.Int64
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := m.Register()
+			for i := 0; i < opsPer; i++ {
+				s.Enter()
+				// Retire an object whose callback checks the retiring
+				// slot has since exited at least this guard (callbacks
+				// only run from reclaim points outside that guard).
+				myEpoch := m.GlobalEpoch()
+				s.Retire(func() {
+					// The batch epoch must be strictly below every
+					// currently-announced epoch at reclaim time.
+					for _, sl := range *m.slots.Load() {
+						if a := sl.announced.Load(); a <= myEpoch && a != Quiescent {
+							// a == myEpoch is allowed only if that guard
+							// started after the advance; we cannot tell
+							// here, so only flag strictly smaller.
+							if a < myEpoch {
+								violations.Add(1)
+							}
+						}
+					}
+					totalFreed.Add(1)
+				})
+				s.Exit()
+			}
+			s.Drain()
+			s.Unregister()
+		}(w)
+	}
+	wg.Wait()
+
+	// Final drain from a fresh slot to pick up orphans.
+	s := m.Register()
+	s.Drain()
+	if violations.Load() != 0 {
+		t.Fatalf("%d reclamation-safety violations", violations.Load())
+	}
+	if totalFreed.Load() != workers*opsPer {
+		t.Fatalf("freed %d of %d", totalFreed.Load(), workers*opsPer)
+	}
+}
+
+func BenchmarkGuardEnterExit(b *testing.B) {
+	m := NewManager()
+	s := m.Register()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Enter()
+		s.Exit()
+	}
+}
+
+func BenchmarkRetire(b *testing.B) {
+	m := NewManager()
+	s := m.Register()
+	nop := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Enter()
+		s.Retire(nop)
+		s.Exit()
+	}
+	b.StopTimer()
+	s.Drain()
+}

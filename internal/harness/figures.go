@@ -1,0 +1,388 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Scale holds the machine- and time-budget-dependent knobs for the
+// figure experiments. The paper's runs use 100M/100K key ranges, 3 s
+// runs and 144 hardware threads; DefaultScale shrinks the ranges and
+// durations so a full figure regenerates in seconds, and sizes the
+// thread counts off GOMAXPROCS (on this repository's 1-CPU reference
+// box every multi-worker point is oversubscribed, which is the regime
+// the paper's headline results are about — see EXPERIMENTS.md).
+type Scale struct {
+	LargeKeys uint64 // stands in for the paper's 100M out-of-cache range
+	SmallKeys uint64 // stands in for the paper's 100K in-cache range
+	ListKeys  uint64 // fig7b's 100-key list
+	Duration  time.Duration
+	Warmup    int
+	Repeats   int
+	Threads   []int // thread sweep for the *a/*e figures
+	Base      int   // the paper's "144 threads" full-subscription point
+	Over      int   // the paper's "216 threads" oversubscribed point
+	Seed      uint64
+}
+
+// DefaultScale returns the scaled-down defaults.
+func DefaultScale() Scale {
+	p := runtime.GOMAXPROCS(0)
+	base := 2 * p
+	if base < 4 {
+		base = 4
+	}
+	return Scale{
+		LargeKeys: 100_000,
+		SmallKeys: 10_000,
+		ListKeys:  100,
+		Duration:  100 * time.Millisecond,
+		Warmup:    0,
+		Repeats:   1,
+		Threads:   []int{1, 2, 4, 8, 16, 32},
+		Base:      base,
+		Over:      3 * base,
+		Seed:      42,
+	}
+}
+
+// Series names one line in a figure.
+type Series struct {
+	Name      string
+	Structure string
+	Blocking  bool
+	HashKeys  bool
+}
+
+// Point is one measured figure point.
+type Point struct {
+	Series string
+	X      string
+	Mops   float64
+	Std    float64
+}
+
+// Figure is a fully measured figure.
+type Figure struct {
+	ID     string
+	Paper  string // what the paper's figure shows
+	XLabel string
+	Points []Point
+}
+
+// FigureSpec describes how to regenerate one paper figure.
+type FigureSpec struct {
+	ID     string
+	Paper  string
+	XLabel string
+	Series []Series
+	// Xs lists the x-axis values; SpecFor builds the measurement spec
+	// for a series at an x value.
+	Xs      func(sc Scale) []string
+	SpecFor func(sc Scale, s Series, x string) Spec
+}
+
+// Paper series sets.
+var (
+	// Figure 5: binary trees. Substitutions per DESIGN.md S4/S5:
+	// leaftreap-bl stands in for Bronson/Drachsler (blocking, balanced),
+	// leaftreap-lf for Chromatic (lock-free, balanced).
+	treeSeries = []Series{
+		{Name: "leaftree-bl", Structure: "leaftree", Blocking: true},
+		{Name: "leaftree-lf", Structure: "leaftree", Blocking: false},
+		{Name: "leaftreap-bl", Structure: "leaftreap", Blocking: true},
+		{Name: "leaftreap-lf", Structure: "leaftreap", Blocking: false},
+		{Name: "natarajan", Structure: "natarajan"},
+		{Name: "ellen", Structure: "ellen"},
+	}
+	// Figure 4: try vs strict locks on the leaftree.
+	fig4Series = []Series{
+		{Name: "leaftree-trylock-bl", Structure: "leaftree", Blocking: true},
+		{Name: "leaftree-trylock-lf", Structure: "leaftree", Blocking: false},
+		{Name: "leaftree-strictlock-bl", Structure: "leaftree-strict", Blocking: true},
+		{Name: "leaftree-strictlock-lf", Structure: "leaftree-strict", Blocking: false},
+	}
+	// Figure 6: other set structures; abtree-strict-bl stands in for
+	// srivastava_abtree.
+	otherSeries = []Series{
+		{Name: "arttree-bl", Structure: "arttree", Blocking: true, HashKeys: true},
+		{Name: "arttree-lf", Structure: "arttree", Blocking: false, HashKeys: true},
+		{Name: "leaftreap-bl", Structure: "leaftreap", Blocking: true},
+		{Name: "leaftreap-lf", Structure: "leaftreap", Blocking: false},
+		{Name: "hashtable-bl", Structure: "hashtable", Blocking: true},
+		{Name: "hashtable-lf", Structure: "hashtable", Blocking: false},
+		{Name: "abtree-bl", Structure: "abtree", Blocking: true},
+		{Name: "abtree-lf", Structure: "abtree", Blocking: false},
+		{Name: "srivastava_abtree", Structure: "abtree-strict", Blocking: true},
+	}
+	// Figure 7: linked lists.
+	listSeries = []Series{
+		{Name: "harris_list", Structure: "harris"},
+		{Name: "harris_list_opt", Structure: "harris_opt"},
+		{Name: "lazylist-bl", Structure: "lazylist", Blocking: true},
+		{Name: "lazylist-lf", Structure: "lazylist", Blocking: false},
+		{Name: "dlist-bl", Structure: "dlist", Blocking: true},
+		{Name: "dlist-lf", Structure: "dlist", Blocking: false},
+	}
+
+	alphas  = []string{"0", "0.75", "0.9", "0.99"}
+	updates = []string{"0", "5", "10", "50"}
+)
+
+func threadsXs(sc Scale) []string {
+	var out []string
+	for _, t := range sc.Threads {
+		out = append(out, fmt.Sprint(t))
+	}
+	return out
+}
+
+func atof(s string) float64 {
+	var f float64
+	fmt.Sscan(s, &f)
+	return f
+}
+
+func atoi(s string) int {
+	var n int
+	fmt.Sscan(s, &n)
+	return n
+}
+
+// figSpecs builds the full experiment index (DESIGN.md §4).
+func figSpecs() []FigureSpec {
+	base := func(sc Scale, s Series) Spec {
+		return Spec{
+			Structure: s.Structure,
+			Blocking:  s.Blocking,
+			HashKeys:  s.HashKeys,
+			Duration:  sc.Duration,
+			Seed:      sc.Seed,
+		}
+	}
+	return []FigureSpec{
+		{
+			ID:     "fig4",
+			Paper:  "Fig 4: try vs strict lock, 100K keys, 144 threads, 50% updates, zipfian sweep",
+			XLabel: "zipfian alpha",
+			Series: fig4Series,
+			Xs:     func(Scale) []string { return alphas },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.SmallKeys, sc.Base, 50, atof(x)
+				return sp
+			},
+		},
+		{
+			ID:     "fig5a",
+			Paper:  "Fig 5a: trees, 100M keys, 50% updates, alpha 0.75, thread sweep",
+			XLabel: "threads",
+			Series: treeSeries,
+			Xs:     threadsXs,
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.LargeKeys, atoi(x), 50, 0.75
+				return sp
+			},
+		},
+		{
+			ID:     "fig5b",
+			Paper:  "Fig 5b: trees, 100M keys, 144 threads, alpha 0.75, update sweep",
+			XLabel: "update %",
+			Series: treeSeries,
+			Xs:     func(Scale) []string { return updates },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.LargeKeys, sc.Base, atoi(x), 0.75
+				return sp
+			},
+		},
+		{
+			ID:     "fig5c",
+			Paper:  "Fig 5c: trees, 100M keys, 144 threads, 50% updates, zipfian sweep",
+			XLabel: "zipfian alpha",
+			Series: treeSeries,
+			Xs:     func(Scale) []string { return alphas },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.LargeKeys, sc.Base, 50, atof(x)
+				return sp
+			},
+		},
+		{
+			ID:     "fig5d",
+			Paper:  "Fig 5d: trees, 100M keys, 216 threads (oversubscribed), 50% updates, zipfian sweep",
+			XLabel: "zipfian alpha",
+			Series: treeSeries,
+			Xs:     func(Scale) []string { return alphas },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.LargeKeys, sc.Over, 50, atof(x)
+				return sp
+			},
+		},
+		{
+			ID:     "fig5e",
+			Paper:  "Fig 5e: trees, 100K keys, 50% updates, alpha 0.75, thread sweep",
+			XLabel: "threads",
+			Series: treeSeries,
+			Xs:     threadsXs,
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.SmallKeys, atoi(x), 50, 0.75
+				return sp
+			},
+		},
+		{
+			ID:     "fig5f",
+			Paper:  "Fig 5f: trees, 100K keys, 144 threads, alpha 0.75, update sweep",
+			XLabel: "update %",
+			Series: treeSeries,
+			Xs:     func(Scale) []string { return updates },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.SmallKeys, sc.Base, atoi(x), 0.75
+				return sp
+			},
+		},
+		{
+			ID:     "fig5g",
+			Paper:  "Fig 5g: trees, 100K keys, 216 threads (oversubscribed), 5% updates, zipfian sweep",
+			XLabel: "zipfian alpha",
+			Series: treeSeries,
+			Xs:     func(Scale) []string { return alphas },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.SmallKeys, sc.Over, 5, atof(x)
+				return sp
+			},
+		},
+		{
+			ID:     "fig5h",
+			Paper:  "Fig 5h: trees, 216 threads (oversubscribed), 5% updates, alpha 0.75, size sweep",
+			XLabel: "key range",
+			Series: treeSeries,
+			Xs: func(sc Scale) []string {
+				var out []string
+				for r := uint64(1000); r <= sc.LargeKeys; r *= 10 {
+					out = append(out, fmt.Sprint(r))
+				}
+				return out
+			},
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = uint64(atoi(x)), sc.Over, 5, 0.75
+				return sp
+			},
+		},
+		{
+			ID:     "fig6a",
+			Paper:  "Fig 6a: other sets, 100M keys, 50% updates, alpha 0.75, thread sweep",
+			XLabel: "threads",
+			Series: otherSeries,
+			Xs:     threadsXs,
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.LargeKeys, atoi(x), 50, 0.75
+				return sp
+			},
+		},
+		{
+			ID:     "fig6b",
+			Paper:  "Fig 6b: other sets, 100M keys, 216 threads (oversubscribed), 50% updates, zipfian sweep",
+			XLabel: "zipfian alpha",
+			Series: otherSeries,
+			Xs:     func(Scale) []string { return alphas },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.LargeKeys, sc.Over, 50, atof(x)
+				return sp
+			},
+		},
+		{
+			ID:     "fig7a",
+			Paper:  "Fig 7a: lists, 144 threads, 5% updates, alpha 0.75, size sweep",
+			XLabel: "key range",
+			Series: listSeries,
+			Xs:     func(Scale) []string { return []string{"100", "1000", "10000"} },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = uint64(atoi(x)), sc.Base, 5, 0.75
+				return sp
+			},
+		},
+		{
+			ID:     "fig7b",
+			Paper:  "Fig 7b: lists, 100 keys, 5% updates, alpha 0.75, thread sweep",
+			XLabel: "threads",
+			Series: listSeries,
+			Xs:     threadsXs,
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.ListKeys, atoi(x), 5, 0.75
+				return sp
+			},
+		},
+		{
+			// Extension (not a paper figure): the oversubscription
+			// phenomenon made explicit. On the paper's 144-core testbed
+			// the OS descheduls lock holders naturally; here a holder is
+			// forced to yield inside every N-th critical section and the
+			// x axis sweeps N (0 = no injection). Lock-free mode should
+			// be flat; blocking mode should collapse as N shrinks.
+			ID:     "ext-stall",
+			Paper:  "Extension: deschedule-injection sweep, oversubscribed, 50% updates, alpha 0.75",
+			XLabel: "stall every",
+			Series: []Series{
+				{Name: "leaftree-bl", Structure: "leaftree", Blocking: true},
+				{Name: "leaftree-lf", Structure: "leaftree", Blocking: false},
+				{Name: "hashtable-bl", Structure: "hashtable", Blocking: true},
+				{Name: "hashtable-lf", Structure: "hashtable", Blocking: false},
+			},
+			Xs: func(Scale) []string { return []string{"0", "1000", "100", "20"} },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.SmallKeys, sc.Over, 50, 0.75
+				sp.StallEvery = atoi(x)
+				return sp
+			},
+		},
+	}
+}
+
+// Figures returns the experiment index keyed by figure id.
+func Figures() map[string]FigureSpec {
+	out := map[string]FigureSpec{}
+	for _, f := range figSpecs() {
+		out[f.ID] = f
+	}
+	return out
+}
+
+// FigureIDs returns the sorted experiment ids.
+func FigureIDs() []string {
+	var ids []string
+	for _, f := range figSpecs() {
+		ids = append(ids, f.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunFigure measures every (series, x) point of a figure.
+func RunFigure(fs FigureSpec, sc Scale) (Figure, error) {
+	fig := Figure{ID: fs.ID, Paper: fs.Paper, XLabel: fs.XLabel}
+	for _, x := range fs.Xs(sc) {
+		for _, s := range fs.Series {
+			spec := fs.SpecFor(sc, s, x)
+			mean, std, err := RunAveraged(spec, sc.Warmup, sc.Repeats)
+			if err != nil {
+				return fig, err
+			}
+			fig.Points = append(fig.Points, Point{Series: s.Name, X: x, Mops: mean, Std: std})
+		}
+	}
+	return fig, nil
+}

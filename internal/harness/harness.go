@@ -1,0 +1,222 @@
+// Package harness runs the paper's throughput experiments (§8): prefill
+// a set structure to half its key range, then hammer it with a mixed
+// workload from T worker goroutines for a fixed duration and report
+// Mop/s. It also defines the per-figure experiment specs used by
+// cmd/flockbench and the repository's benchmarks (see DESIGN.md §4).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	flock "flock/internal/core"
+
+	"flock/internal/baseline/ellen"
+	"flock/internal/baseline/harris"
+	"flock/internal/baseline/natarajan"
+	"flock/internal/structures/abtree"
+	"flock/internal/structures/arttree"
+	"flock/internal/structures/couplist"
+	"flock/internal/structures/dlist"
+	"flock/internal/structures/hashtable"
+	"flock/internal/structures/lazylist"
+	"flock/internal/structures/leaftreap"
+	"flock/internal/structures/leaftree"
+	"flock/internal/structures/set"
+	"flock/internal/workload"
+)
+
+// Factory builds a structure instance sized for keyRange.
+type Factory func(rt *flock.Runtime, keyRange uint64) set.Set
+
+// registry maps structure names (as used in figure series and on the
+// flockbench command line) to factories.
+var registry = map[string]Factory{
+	"lazylist":  func(rt *flock.Runtime, _ uint64) set.Set { return lazylist.New(rt) },
+	"dlist":     func(rt *flock.Runtime, _ uint64) set.Set { return dlist.New(rt) },
+	"hashtable": func(rt *flock.Runtime, r uint64) set.Set { return hashtable.New(rt, int(r)) },
+	"leaftree":  func(rt *flock.Runtime, _ uint64) set.Set { return leaftree.New(rt) },
+	"leaftree-strict": func(rt *flock.Runtime, _ uint64) set.Set {
+		return leaftree.NewStrict(rt)
+	},
+	"leaftreap": func(rt *flock.Runtime, _ uint64) set.Set { return leaftreap.New(rt) },
+	"abtree":    func(rt *flock.Runtime, _ uint64) set.Set { return abtree.New(rt) },
+	"abtree-strict": func(rt *flock.Runtime, _ uint64) set.Set {
+		return abtree.NewStrict(rt)
+	},
+	"arttree":    func(rt *flock.Runtime, _ uint64) set.Set { return arttree.New(rt) },
+	"couplist":   func(rt *flock.Runtime, _ uint64) set.Set { return couplist.New(rt) },
+	"harris":     func(*flock.Runtime, uint64) set.Set { return harris.New(false) },
+	"harris_opt": func(*flock.Runtime, uint64) set.Set { return harris.New(true) },
+	"natarajan":  func(*flock.Runtime, uint64) set.Set { return natarajan.New() },
+	"ellen":      func(*flock.Runtime, uint64) set.Set { return ellen.New() },
+}
+
+// Structures returns the sorted registry keys.
+func Structures() []string {
+	var out []string
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spec describes one throughput measurement point.
+type Spec struct {
+	Structure string
+	Blocking  bool // lock mode for flock structures (ignored by baselines)
+	Threads   int
+	KeyRange  uint64
+	UpdatePct int
+	Alpha     float64
+	HashKeys  bool // sparsify keys (the paper does this for arttree)
+	Duration  time.Duration
+	Seed      uint64
+	// StallEvery, when nonzero, injects a descheduling event inside
+	// every n-th critical section (flock structures only): the explicit
+	// form of the oversubscription phenomenon (DESIGN.md S3).
+	StallEvery int
+}
+
+// Result is one measured point.
+type Result struct {
+	Ops     uint64
+	Elapsed time.Duration
+	Mops    float64
+}
+
+// NewInstance builds the named structure on a fresh runtime in the
+// requested mode. It returns the runtime for Proc registration.
+func NewInstance(spec Spec) (set.Set, *flock.Runtime, error) {
+	f, ok := registry[spec.Structure]
+	if !ok {
+		return nil, nil, fmt.Errorf("harness: unknown structure %q (have %v)", spec.Structure, Structures())
+	}
+	rt := flock.New()
+	rt.SetBlocking(spec.Blocking)
+	return f(rt, spec.KeyRange), rt, nil
+}
+
+// Prefill inserts the deterministic half of [1, KeyRange] (§8: "prefill
+// the data structure with half the keys in the range"), in parallel and
+// in pseudo-random order (ascending order would degenerate the
+// unbalanced trees; the paper's trees are balanced in expectation from
+// random insertion).
+func Prefill(s set.Set, rt *flock.Runtime, spec Spec) {
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers > 8 {
+		workers = 8
+	}
+	perm := workload.NewPermutation(spec.KeyRange, spec.Seed^0x5eed)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			for i := uint64(w) + 1; i <= spec.KeyRange; i += uint64(workers) {
+				k := perm.Apply(i)
+				if spec.HashKeys {
+					if hk, in := workload.PrefillKeyHashed(k); in {
+						s.Insert(p, hk, hk)
+					}
+				} else if workload.PrefillKey(k) {
+					s.Insert(p, k, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// RunTimed builds, prefills and measures one spec.
+func RunTimed(spec Spec) (Result, error) {
+	s, rt, err := NewInstance(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	Prefill(s, rt, spec)
+	// Injection starts only after prefill so setup stays fast.
+	rt.SetStallInjection(spec.StallEvery)
+
+	var stop atomic.Bool
+	var total atomic.Uint64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			mix := workload.NewMix(spec.KeyRange, spec.UpdatePct, spec.Alpha,
+				spec.HashKeys, spec.Seed+uint64(w)*0x9e3779b9)
+			<-start
+			var n uint64
+			for !stop.Load() {
+				op, k := mix.Next()
+				switch op {
+				case workload.OpInsert:
+					s.Insert(p, k, k)
+				case workload.OpDelete:
+					s.Delete(p, k)
+				default:
+					s.Find(p, k)
+				}
+				n++
+			}
+			total.Add(n)
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	time.Sleep(spec.Duration)
+	stop.Store(true)
+	wg.Wait()
+	el := time.Since(t0)
+
+	ops := total.Load()
+	return Result{
+		Ops:     ops,
+		Elapsed: el,
+		Mops:    float64(ops) / el.Seconds() / 1e6,
+	}, nil
+}
+
+// RunAveraged performs warmup runs followed by measured repetitions,
+// following the paper's methodology (one warmup, average of the rest),
+// and returns the mean and standard deviation of Mop/s.
+func RunAveraged(spec Spec, warmup, repeats int) (mean, std float64, err error) {
+	for i := 0; i < warmup; i++ {
+		if _, err = RunTimed(spec); err != nil {
+			return 0, 0, err
+		}
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	vals := make([]float64, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		r, err := RunTimed(spec)
+		if err != nil {
+			return 0, 0, err
+		}
+		vals = append(vals, r.Mops)
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(vals)))
+	return mean, std, nil
+}

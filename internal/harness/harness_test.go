@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEveryStructureRunsBothModes is the cross-cutting integration test:
+// every registered structure survives a short mixed workload in both lock
+// modes and reports sane numbers.
+func TestEveryStructureRunsBothModes(t *testing.T) {
+	for _, name := range Structures() {
+		for _, blocking := range []bool{false, true} {
+			spec := Spec{
+				Structure: name,
+				Blocking:  blocking,
+				Threads:   8,
+				KeyRange:  512,
+				UpdatePct: 50,
+				Alpha:     0.9,
+				HashKeys:  name == "arttree",
+				Duration:  30 * time.Millisecond,
+				Seed:      7,
+			}
+			res, err := RunTimed(spec)
+			if err != nil {
+				t.Fatalf("%s blocking=%v: %v", name, blocking, err)
+			}
+			if res.Ops == 0 {
+				t.Fatalf("%s blocking=%v: zero ops completed", name, blocking)
+			}
+			if res.Mops <= 0 {
+				t.Fatalf("%s blocking=%v: nonpositive Mops", name, blocking)
+			}
+		}
+	}
+}
+
+func TestUnknownStructureRejected(t *testing.T) {
+	_, err := RunTimed(Spec{Structure: "btree9000", Threads: 1, KeyRange: 8, Duration: time.Millisecond})
+	if err == nil {
+		t.Fatalf("unknown structure accepted")
+	}
+}
+
+func TestPrefillHalfFull(t *testing.T) {
+	spec := Spec{Structure: "leaftree", KeyRange: 4096, Threads: 1, Duration: time.Millisecond}
+	s, rt, err := NewInstance(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Prefill(s, rt, spec)
+	p := rt.Register()
+	defer p.Unregister()
+	n := 0
+	for k := uint64(1); k <= spec.KeyRange; k++ {
+		if _, ok := s.Find(p, k); ok {
+			n++
+		}
+	}
+	if n < 4096*45/100 || n > 4096*55/100 {
+		t.Fatalf("prefill filled %d of 4096, want ~half", n)
+	}
+}
+
+func TestRunAveragedStats(t *testing.T) {
+	spec := Spec{
+		Structure: "hashtable", Threads: 4, KeyRange: 256,
+		UpdatePct: 20, Alpha: 0, Duration: 20 * time.Millisecond, Seed: 1,
+	}
+	mean, std, err := RunAveraged(spec, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 {
+		t.Fatalf("mean %v", mean)
+	}
+	if std < 0 {
+		t.Fatalf("negative std %v", std)
+	}
+}
+
+func TestFigureIndexComplete(t *testing.T) {
+	figs := Figures()
+	want := []string{"fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
+		"fig5f", "fig5g", "fig5h", "fig6a", "fig6b", "fig7a", "fig7b", "ext-stall"}
+	if len(figs) != len(want) {
+		t.Fatalf("%d figures, want %d", len(figs), len(want))
+	}
+	for _, id := range want {
+		fs, ok := figs[id]
+		if !ok {
+			t.Fatalf("missing figure %s", id)
+		}
+		if fs.Paper == "" || fs.XLabel == "" || len(fs.Series) == 0 {
+			t.Fatalf("figure %s underspecified", id)
+		}
+		// Every series must reference a registered structure and every
+		// x must produce a buildable spec.
+		sc := DefaultScale()
+		for _, x := range fs.Xs(sc) {
+			for _, s := range fs.Series {
+				spec := fs.SpecFor(sc, s, x)
+				if _, _, err := NewInstance(spec); err != nil {
+					t.Fatalf("figure %s series %s x=%s: %v", id, s.Name, x, err)
+				}
+				if spec.Threads <= 0 || spec.KeyRange == 0 {
+					t.Fatalf("figure %s series %s x=%s: bad spec %+v", id, s.Name, x, spec)
+				}
+			}
+		}
+	}
+}
+
+// TestRunFigureSmoke regenerates a miniature fig4 end to end.
+func TestRunFigureSmoke(t *testing.T) {
+	sc := DefaultScale()
+	sc.SmallKeys = 128
+	sc.Duration = 10 * time.Millisecond
+	sc.Base = 4
+	fig, err := RunFigure(Figures()["fig4"], sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := len(fig4Series) * len(alphas)
+	if len(fig.Points) != wantPoints {
+		t.Fatalf("%d points, want %d", len(fig.Points), wantPoints)
+	}
+	for _, pt := range fig.Points {
+		if pt.Mops <= 0 {
+			t.Fatalf("point %+v has nonpositive throughput", pt)
+		}
+	}
+}
+
+// TestOversubscriptionHeadline verifies the paper's core performance
+// claim in its explicit form: when lock holders get descheduled inside
+// critical sections (injected here; produced naturally by the OS on the
+// paper's oversubscribed testbed), the lock-free mode far outperforms
+// the blocking mode on the same structure, because helpers complete the
+// stalled critical sections instead of stranding behind them.
+func TestOversubscriptionHeadline(t *testing.T) {
+	mk := func(blocking bool) Spec {
+		return Spec{
+			Structure:  "leaftree",
+			Blocking:   blocking,
+			Threads:    24,
+			KeyRange:   1024,
+			UpdatePct:  50,
+			Alpha:      0.75,
+			Duration:   150 * time.Millisecond,
+			Seed:       3,
+			StallEvery: 200,
+		}
+	}
+	lf, _, err := RunAveraged(mk(false), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, _, err := RunAveraged(mk(true), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("oversubscribed+stalls leaftree: lock-free %.3f Mops vs blocking %.3f Mops (%.1fx)", lf, bl, lf/bl)
+	if lf <= bl {
+		t.Fatalf("lock-free mode did not win under descheduling: %.3f vs %.3f Mops", lf, bl)
+	}
+
+	// Without injected stalls both modes must be in the same ballpark
+	// (the paper's <=11%-overhead side of the story; on one core the
+	// logging overhead is fully exposed, so allow up to 2.5x).
+	noStall := mk(false)
+	noStall.StallEvery = 0
+	lf2, _, err := RunAveraged(noStall, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noStallBl := mk(true)
+	noStallBl.StallEvery = 0
+	bl2, _, err := RunAveraged(noStallBl, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("no-stall leaftree: lock-free %.3f vs blocking %.3f Mops (ratio %.2fx)", lf2, bl2, lf2/bl2)
+	if lf2 < bl2/2.5 {
+		t.Fatalf("lock-free overhead out of band: %.3f vs %.3f Mops", lf2, bl2)
+	}
+}

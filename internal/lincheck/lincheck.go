@@ -1,0 +1,264 @@
+// Package lincheck is a linearizability checker for set histories,
+// used to validate the repository's concurrent structures end to end:
+// operations are recorded with invocation/response timestamps from a
+// global atomic counter, and the checker searches for a legal sequential
+// witness (Wing & Gong's algorithm with memoization).
+//
+// Set semantics decompose per key: insert/delete/find on different keys
+// operate on independent sub-objects, so a history is linearizable iff
+// each per-key sub-history is linearizable against a single-cell model
+// (present?, value). That keeps the search space tiny even for long
+// recorded histories.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	flock "flock/internal/core"
+	"flock/internal/structures/set"
+)
+
+// Kind is the operation type of a recorded event.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KInsert Kind = iota
+	KDelete
+	KFind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KInsert:
+		return "insert"
+	case KDelete:
+		return "delete"
+	default:
+		return "find"
+	}
+}
+
+// Op is one completed operation with its observation window: Start is
+// taken just before the call, End just after, from one global counter,
+// so End_a < Start_b proves a completed before b began.
+type Op struct {
+	Kind   Kind
+	Key    uint64
+	Arg    uint64 // inserted value
+	Ok     bool   // returned presence/success
+	Val    uint64 // value returned by find
+	Start  int64
+	End    int64
+	Worker int
+}
+
+// Recorder wraps a set.Set and records every completed operation.
+// Each worker must use its own slot (WorkerHandle) so recording is
+// contention-free; timestamps come from one shared atomic counter.
+type Recorder struct {
+	s     set.Set
+	clock atomic.Int64
+	hists []([]Op)
+}
+
+// NewRecorder wraps s for nWorkers recording workers.
+func NewRecorder(s set.Set, nWorkers int) *Recorder {
+	return &Recorder{s: s, hists: make([][]Op, nWorkers)}
+}
+
+// Handle is one worker's recording facade over the wrapped set.
+type Handle struct {
+	r *Recorder
+	w int
+}
+
+// Worker returns worker w's handle.
+func (r *Recorder) Worker(w int) *Handle { return &Handle{r: r, w: w} }
+
+// Insert records an insert.
+func (h *Handle) Insert(p *flock.Proc, k, v uint64) bool {
+	start := h.r.clock.Add(1)
+	ok := h.r.s.Insert(p, k, v)
+	end := h.r.clock.Add(1)
+	h.r.hists[h.w] = append(h.r.hists[h.w], Op{
+		Kind: KInsert, Key: k, Arg: v, Ok: ok, Start: start, End: end, Worker: h.w,
+	})
+	return ok
+}
+
+// Delete records a delete.
+func (h *Handle) Delete(p *flock.Proc, k uint64) bool {
+	start := h.r.clock.Add(1)
+	ok := h.r.s.Delete(p, k)
+	end := h.r.clock.Add(1)
+	h.r.hists[h.w] = append(h.r.hists[h.w], Op{
+		Kind: KDelete, Key: k, Ok: ok, Start: start, End: end, Worker: h.w,
+	})
+	return ok
+}
+
+// Find records a find.
+func (h *Handle) Find(p *flock.Proc, k uint64) (uint64, bool) {
+	start := h.r.clock.Add(1)
+	v, ok := h.r.s.Find(p, k)
+	end := h.r.clock.Add(1)
+	h.r.hists[h.w] = append(h.r.hists[h.w], Op{
+		Kind: KFind, Key: k, Ok: ok, Val: v, Start: start, End: end, Worker: h.w,
+	})
+	return v, ok
+}
+
+// History returns all recorded operations (call after workers finish).
+func (r *Recorder) History() []Op {
+	var all []Op
+	for _, h := range r.hists {
+		all = append(all, h...)
+	}
+	return all
+}
+
+// cell is the per-key sequential model: a single optional value.
+type cell struct {
+	present bool
+	val     uint64
+}
+
+// step applies op to the model; reports whether the recorded result is
+// legal from this state, and the successor state.
+func (c cell) step(op Op) (cell, bool) {
+	switch op.Kind {
+	case KInsert:
+		if op.Ok {
+			if c.present {
+				return c, false
+			}
+			return cell{present: true, val: op.Arg}, true
+		}
+		return c, c.present
+	case KDelete:
+		if op.Ok {
+			if !c.present {
+				return c, false
+			}
+			return cell{}, true
+		}
+		return c, !c.present
+	default: // KFind
+		if op.Ok {
+			return c, c.present && c.val == op.Val
+		}
+		return c, !c.present
+	}
+}
+
+// CheckResult reports the verdict and, on failure, the offending key.
+type CheckResult struct {
+	Ok       bool
+	BadKey   uint64
+	BadCount int // ops on the failing key
+}
+
+func (cr CheckResult) String() string {
+	if cr.Ok {
+		return "linearizable"
+	}
+	return fmt.Sprintf("NOT linearizable: key %d (%d ops)", cr.BadKey, cr.BadCount)
+}
+
+// Check verifies the history is linearizable with respect to set
+// semantics starting from the empty set.
+func Check(history []Op) CheckResult {
+	perKey := map[uint64][]Op{}
+	for _, op := range history {
+		perKey[op.Key] = append(perKey[op.Key], op)
+	}
+	for k, ops := range perKey {
+		if !checkKey(ops) {
+			return CheckResult{Ok: false, BadKey: k, BadCount: len(ops)}
+		}
+	}
+	return CheckResult{Ok: true}
+}
+
+// bitset is an arbitrary-width done-set over the ops of one key. The
+// reachable done-sets of Wing-Gong search are "order ideals" of the
+// precedence order, so with w workers (plus any stalled operations) only
+// a modest number of distinct sets arise and memoization over the bitset
+// is effective regardless of history length.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) with(i int) bitset {
+	nb := make(bitset, len(b))
+	copy(nb, b)
+	nb[i/64] |= 1 << (i % 64)
+	return nb
+}
+
+func (b bitset) key() string {
+	buf := make([]byte, 0, len(b)*8)
+	for _, w := range b {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>s))
+		}
+	}
+	return string(buf)
+}
+
+// checkKey runs Wing-Gong DFS with memoization over one key's ops. The
+// done-set is an arbitrary-width bitset: a stalled operation can overlap
+// hundreds of later ones (its window covers them all), so a fixed 64-op
+// window is not enough.
+func checkKey(ops []Op) bool {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	type memoKey struct {
+		done string
+		c    cell
+	}
+	seen := map[memoKey]bool{}
+	var dfs func(done bitset, nDone int, c cell) bool
+	dfs = func(done bitset, nDone int, c cell) bool {
+		if nDone == n {
+			return true
+		}
+		mk := memoKey{done.key(), c}
+		if seen[mk] {
+			return false
+		}
+		seen[mk] = true
+		// Only ops invoked before every pending response may linearize
+		// next; and since ops are Start-sorted, once Start exceeds
+		// minEnd no later op qualifies either.
+		minEnd := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if !done.get(i) && ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done.get(i) {
+				continue
+			}
+			if ops[i].Start > minEnd {
+				break
+			}
+			if next, ok := c.step(ops[i]); ok {
+				if dfs(done.with(i), nDone+1, next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(newBitset(n), 0, cell{})
+}

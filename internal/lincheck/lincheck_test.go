@@ -1,0 +1,142 @@
+package lincheck
+
+import "testing"
+
+// seqOp builds an op with a closed window [t, t+1] at sequential times.
+func seqOp(kind Kind, key uint64, ok bool, t int64) Op {
+	return Op{Kind: kind, Key: key, Ok: ok, Start: t, End: t + 1}
+}
+
+func TestAcceptsSequentialHistory(t *testing.T) {
+	h := []Op{
+		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+		{Kind: KFind, Key: 1, Ok: true, Val: 10, Start: 3, End: 4},
+		{Kind: KDelete, Key: 1, Ok: true, Start: 5, End: 6},
+		{Kind: KFind, Key: 1, Ok: false, Start: 7, End: 8},
+		{Kind: KDelete, Key: 1, Ok: false, Start: 9, End: 10},
+		{Kind: KInsert, Key: 1, Arg: 20, Ok: true, Start: 11, End: 12},
+		{Kind: KFind, Key: 1, Ok: true, Val: 20, Start: 13, End: 14},
+	}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("valid history rejected: %v", res)
+	}
+}
+
+func TestRejectsDoubleSuccessfulInsert(t *testing.T) {
+	h := []Op{
+		seqOp(KInsert, 1, true, 1),
+		seqOp(KInsert, 1, true, 10), // must fail: already present
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("double insert accepted")
+	}
+}
+
+func TestRejectsFindAfterDelete(t *testing.T) {
+	h := []Op{
+		seqOp(KInsert, 5, true, 1),
+		seqOp(KDelete, 5, true, 10),
+		{Kind: KFind, Key: 5, Ok: true, Val: 0, Start: 20, End: 21}, // stale read
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("stale read accepted")
+	}
+}
+
+func TestRejectsWrongValue(t *testing.T) {
+	h := []Op{
+		{Kind: KInsert, Key: 9, Arg: 100, Ok: true, Start: 1, End: 2},
+		{Kind: KFind, Key: 9, Ok: true, Val: 999, Start: 3, End: 4},
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("wrong value accepted")
+	}
+}
+
+func TestAcceptsConcurrentEitherOrder(t *testing.T) {
+	// Two overlapping operations: a successful insert and a find that
+	// missed. Legal (find linearizes first).
+	h := []Op{
+		{Kind: KInsert, Key: 2, Arg: 7, Ok: true, Start: 1, End: 10},
+		{Kind: KFind, Key: 2, Ok: false, Start: 2, End: 9},
+	}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("legal overlapping history rejected: %v", res)
+	}
+	// And the find may instead have seen it.
+	h[1] = Op{Kind: KFind, Key: 2, Ok: true, Val: 7, Start: 2, End: 9}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("legal overlapping history (other order) rejected: %v", res)
+	}
+}
+
+func TestRejectsCausalOrderViolation(t *testing.T) {
+	// The find completed strictly BEFORE the insert began, yet saw it.
+	h := []Op{
+		{Kind: KFind, Key: 3, Ok: true, Val: 7, Start: 1, End: 2},
+		{Kind: KInsert, Key: 3, Arg: 7, Ok: true, Start: 5, End: 6},
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("future read accepted")
+	}
+}
+
+func TestConcurrentInsertsOneWins(t *testing.T) {
+	// Two overlapping inserts on one key: exactly one may succeed.
+	h := []Op{
+		{Kind: KInsert, Key: 4, Arg: 1, Ok: true, Start: 1, End: 10},
+		{Kind: KInsert, Key: 4, Arg: 2, Ok: false, Start: 2, End: 9},
+	}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("legal racing inserts rejected: %v", res)
+	}
+	h[1].Ok = true
+	if res := Check(h); res.Ok {
+		t.Fatalf("both racing inserts succeeded and were accepted")
+	}
+}
+
+func TestKeysCheckedIndependently(t *testing.T) {
+	// A violation on key 8 must be pinned to key 8.
+	h := []Op{
+		seqOp(KInsert, 7, true, 1),
+		seqOp(KInsert, 8, true, 3),
+		seqOp(KInsert, 8, true, 10), // violation
+	}
+	res := Check(h)
+	if res.Ok {
+		t.Fatalf("violation missed")
+	}
+	if res.BadKey != 8 {
+		t.Fatalf("violation attributed to key %d, want 8", res.BadKey)
+	}
+}
+
+func TestLongHistory(t *testing.T) {
+	// Hundreds of ops on one key (beyond any fixed bitmask width); a
+	// valid alternating insert/delete run must pass.
+	var h []Op
+	t0 := int64(0)
+	for i := 0; i < 300; i++ {
+		kind, ok := KInsert, true
+		if i%2 == 1 {
+			kind = KDelete
+		}
+		h = append(h, seqOp(kind, 1, ok, t0))
+		t0 += 2
+	}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("valid long history rejected: %v", res)
+	}
+	// Tampering with the tail must be caught.
+	h[299].Ok = false // last delete claims absent right after an insert
+	if res := Check(h); res.Ok {
+		t.Fatalf("tampered long history accepted")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if res := Check(nil); !res.Ok {
+		t.Fatalf("empty history rejected")
+	}
+}

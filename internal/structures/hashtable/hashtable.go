@@ -1,0 +1,163 @@
+// Package hashtable implements the paper's separate-chaining hash table:
+// an array of buckets, each a short sorted linked list maintained with the
+// same fine-grained optimistic try-lock protocol as lazylist. Searches
+// take no locks; because chains are short, the fraction of time spent
+// inside critical sections is the highest of all the structures, which is
+// why the paper observes the largest lock-free overhead here (§8).
+package hashtable
+
+import (
+	"fmt"
+
+	flock "flock/internal/core"
+)
+
+// node is one chain link. The head node of each bucket is a sentinel that
+// is never removed.
+type node struct {
+	k, v    uint64
+	next    flock.Mutable[*node]
+	removed flock.UpdateOnce[bool]
+	lck     flock.Lock
+}
+
+// Table is a concurrent separate-chaining hash set with a fixed bucket
+// array (the paper's tables are sized to the key range and not resized).
+type Table struct {
+	buckets []node
+	mask    uint64
+}
+
+// New returns a table with at least nBuckets buckets (rounded up to a
+// power of two).
+func New(rt *flock.Runtime, nBuckets int) *Table {
+	_ = rt
+	n := 1
+	for n < nBuckets {
+		n <<= 1
+	}
+	return &Table{buckets: make([]node, n), mask: uint64(n - 1)}
+}
+
+// hash is splitmix64's finalizer: a cheap, well-mixed multiplicative hash.
+func hash(k uint64) uint64 {
+	z := k + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (t *Table) bucket(k uint64) *node {
+	return &t.buckets[hash(k)&t.mask]
+}
+
+// locate returns the predecessor and the first node with key >= k in k's
+// chain; curr is nil when the chain ends first.
+func (t *Table) locate(p *flock.Proc, k uint64) (pred, curr *node) {
+	pred = t.bucket(k)
+	curr = pred.next.Load(p)
+	for curr != nil && curr.k < k {
+		pred = curr
+		curr = curr.next.Load(p)
+	}
+	return pred, curr
+}
+
+// Find reports the value stored under k.
+func (t *Table) Find(p *flock.Proc, k uint64) (uint64, bool) {
+	p.Begin()
+	defer p.End()
+	_, curr := t.locate(p, k)
+	if curr != nil && curr.k == k && !curr.removed.Load(p) {
+		return curr.v, true
+	}
+	return 0, false
+}
+
+// Insert adds (k, v); false if already present.
+func (t *Table) Insert(p *flock.Proc, k, v uint64) bool {
+	p.Begin()
+	defer p.End()
+	for {
+		pred, curr := t.locate(p, k)
+		if curr != nil && curr.k == k {
+			if curr.removed.Load(p) {
+				continue
+			}
+			return false
+		}
+		ok := pred.lck.TryLock(p, func(hp *flock.Proc) bool {
+			if pred.removed.Load(hp) || pred.next.Load(hp) != curr {
+				return false
+			}
+			n := flock.Allocate(hp, func() *node {
+				nn := &node{k: k, v: v}
+				nn.next.Init(curr)
+				return nn
+			})
+			pred.next.Store(hp, n)
+			return true
+		})
+		if ok {
+			return true
+		}
+	}
+}
+
+// Delete removes k; false if absent.
+func (t *Table) Delete(p *flock.Proc, k uint64) bool {
+	p.Begin()
+	defer p.End()
+	for {
+		pred, curr := t.locate(p, k)
+		if curr == nil || curr.k != k {
+			return false
+		}
+		ok := pred.lck.TryLock(p, func(hp *flock.Proc) bool {
+			return curr.lck.TryLock(hp, func(hp2 *flock.Proc) bool {
+				if pred.removed.Load(hp2) || pred.next.Load(hp2) != curr {
+					return false
+				}
+				next := curr.next.Load(hp2)
+				curr.removed.Store(hp2, true)
+				pred.next.Store(hp2, next)
+				flock.Retire(hp2, curr, nil)
+				return true
+			})
+		})
+		if ok {
+			return true
+		}
+	}
+}
+
+// Size counts all elements (single-threaded use).
+func (t *Table) Size(p *flock.Proc) int {
+	n := 0
+	for i := range t.buckets {
+		for c := t.buckets[i].next.Load(p); c != nil; c = c.next.Load(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies per-chain sorted order and that every node
+// hashes to its bucket (single-threaded use).
+func (t *Table) CheckInvariants(p *flock.Proc) error {
+	for i := range t.buckets {
+		prev := uint64(0)
+		first := true
+		for c := t.buckets[i].next.Load(p); c != nil; c = c.next.Load(p) {
+			if !first && c.k <= prev {
+				return fmt.Errorf("hashtable: bucket %d out of order at key %d", i, c.k)
+			}
+			first = false
+			prev = c.k
+			if hash(c.k)&t.mask != uint64(i) {
+				return fmt.Errorf("hashtable: key %d in wrong bucket %d", c.k, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+// Package leaftree implements the paper's "leaftree": a leaf-oriented
+// (external) unbalanced binary search tree with fine-grained optimistic
+// try-locks. All keys live in leaves; internal nodes hold routing keys.
+// Searches take no locks; an insert locks the leaf's parent and replaces
+// the leaf by a three-node subtree; a delete locks the grandparent and
+// parent and splices the parent out. The sentinel layout follows Ellen et
+// al.: root(inf2){ left=..., right=leaf(inf2) } with an inf1 layer below,
+// which guarantees a real leaf always has an internal parent and
+// grandparent and that the root is never removed.
+package leaftree
+
+import (
+	"fmt"
+	"math"
+
+	flock "flock/internal/core"
+)
+
+const (
+	inf1 = math.MaxUint64 - 1 // upper sentinel key (no real key reaches it)
+	inf2 = math.MaxUint64
+)
+
+// node is either an internal router (leaf=false) or a leaf holding a
+// key-value pair. All fields except the two child pointers and removed
+// are constants.
+type node struct {
+	k       uint64
+	v       uint64
+	leaf    bool
+	left    flock.Mutable[*node]
+	right   flock.Mutable[*node]
+	removed flock.UpdateOnce[bool]
+	lck     flock.Lock
+}
+
+// Tree is a concurrent external BST. Keys must be in [1, MaxUint64-2].
+type Tree struct {
+	root   *node
+	strict bool
+}
+
+// New returns an empty tree using try-locks (the paper's preferred mode).
+func New(rt *flock.Runtime) *Tree {
+	_ = rt
+	root := &node{k: inf2}
+	root.left.Init(&node{k: inf1, leaf: true})
+	root.right.Init(&node{k: inf2, leaf: true})
+	return &Tree{root: root}
+}
+
+// NewStrict returns a tree whose updates acquire strict locks (wait for
+// the holder / help until acquired) instead of try-locks. Used by the
+// Figure 4 experiment: with optimistic validation, waiting for a lock is
+// usually wasted work because the validation then fails.
+func NewStrict(rt *flock.Runtime) *Tree {
+	t := New(rt)
+	t.strict = true
+	return t
+}
+
+// acquire runs f under l with the tree's lock discipline.
+func (t *Tree) acquire(p *flock.Proc, l *flock.Lock, f flock.Thunk) bool {
+	if t.strict {
+		return l.Lock(p, f)
+	}
+	return l.TryLock(p, f)
+}
+
+// childOf returns the child pointer k routes to at n (k < n.k goes left).
+func childOf(n *node, k uint64) *flock.Mutable[*node] {
+	if k < n.k {
+		return &n.left
+	}
+	return &n.right
+}
+
+// siblingOf returns the other child pointer.
+func siblingOf(n *node, k uint64) *flock.Mutable[*node] {
+	if k < n.k {
+		return &n.right
+	}
+	return &n.left
+}
+
+// search descends to the leaf k routes to, returning the grandparent,
+// parent and leaf. gp is nil only when the leaf hangs directly off the
+// root (which can only be a sentinel leaf).
+func (t *Tree) search(p *flock.Proc, k uint64) (gp, pp, leaf *node) {
+	pp = t.root
+	cur := childOf(pp, k).Load(p)
+	for !cur.leaf {
+		gp = pp
+		pp = cur
+		cur = childOf(cur, k).Load(p)
+	}
+	return gp, pp, cur
+}
+
+// Find reports the value stored under k.
+func (t *Tree) Find(p *flock.Proc, k uint64) (uint64, bool) {
+	p.Begin()
+	defer p.End()
+	_, _, leaf := t.search(p, k)
+	if leaf.k == k {
+		return leaf.v, true
+	}
+	return 0, false
+}
+
+// Insert adds (k, v); false if already present. The leaf found by the
+// search is replaced, under its parent's lock, by an internal node whose
+// children are the old leaf and the new one.
+func (t *Tree) Insert(p *flock.Proc, k, v uint64) bool {
+	p.Begin()
+	defer p.End()
+	for {
+		_, pp, leaf := t.search(p, k)
+		if leaf.k == k {
+			return false // already there
+		}
+		ok := t.acquire(p, &pp.lck, func(hp *flock.Proc) bool {
+			if pp.removed.Load(hp) || childOf(pp, k).Load(hp) != leaf {
+				return false // validate
+			}
+			newLeaf := flock.Allocate(hp, func() *node {
+				return &node{k: k, v: v, leaf: true}
+			})
+			inner := flock.Allocate(hp, func() *node {
+				in := &node{k: maxKey(k, leaf.k)}
+				if k < leaf.k {
+					in.left.Init(newLeaf)
+					in.right.Init(leaf)
+				} else {
+					in.left.Init(leaf)
+					in.right.Init(newLeaf)
+				}
+				return in
+			})
+			childOf(pp, k).Store(hp, inner)
+			return true
+		})
+		if ok {
+			return true
+		}
+	}
+}
+
+// Delete removes k; false if absent. The parent is spliced out under the
+// grandparent's and parent's locks; the leaf's sibling takes the parent's
+// place.
+func (t *Tree) Delete(p *flock.Proc, k uint64) bool {
+	p.Begin()
+	defer p.End()
+	for {
+		gp, pp, leaf := t.search(p, k)
+		if leaf.k != k {
+			return false // not found
+		}
+		// A real leaf's parent routes below the inf1 layer, so gp != nil.
+		ok := t.acquire(p, &gp.lck, func(hp *flock.Proc) bool {
+			if gp.removed.Load(hp) || childOf(gp, k).Load(hp) != pp {
+				return false // validate
+			}
+			return t.acquire(hp, &pp.lck, func(hp2 *flock.Proc) bool {
+				if childOf(pp, k).Load(hp2) != leaf {
+					return false // validate (pp itself is pinned by gp's lock)
+				}
+				sibling := siblingOf(pp, k).Load(hp2)
+				pp.removed.Store(hp2, true)
+				childOf(gp, k).Store(hp2, sibling) // splice out pp and leaf
+				flock.Retire(hp2, pp, nil)
+				flock.Retire(hp2, leaf, nil)
+				return true
+			})
+		})
+		if ok {
+			return true
+		}
+	}
+}
+
+func maxKey(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Keys returns the sorted key snapshot (single-threaded use).
+func (t *Tree) Keys(p *flock.Proc) []uint64 {
+	var out []uint64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if n.k < inf1 {
+				out = append(out, n.k)
+			}
+			return
+		}
+		walk(n.left.Load(p))
+		walk(n.right.Load(p))
+	}
+	walk(t.root)
+	return out
+}
+
+// Height returns the maximum leaf depth (single-threaded use).
+func (t *Tree) Height(p *flock.Proc) int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n.leaf {
+			return 0
+		}
+		l, r := walk(n.left.Load(p)), walk(n.right.Load(p))
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}
+
+// CheckInvariants verifies the external-BST ordering: within [lo, hi)
+// bounds, internal key separates subtrees, and every leaf key respects
+// the bounds (single-threaded use).
+func (t *Tree) CheckInvariants(p *flock.Proc) error {
+	var walk func(n *node, lo, hi uint64) error
+	walk = func(n *node, lo, hi uint64) error {
+		if n.leaf {
+			if n.k < lo || n.k > hi {
+				return fmt.Errorf("leaftree: leaf %d outside [%d,%d]", n.k, lo, hi)
+			}
+			return nil
+		}
+		if n.k < lo || n.k > hi {
+			return fmt.Errorf("leaftree: router %d outside [%d,%d]", n.k, lo, hi)
+		}
+		if err := walk(n.left.Load(p), lo, n.k-1); err != nil {
+			return err
+		}
+		return walk(n.right.Load(p), n.k, hi)
+	}
+	return walk(t.root, 0, inf2)
+}

@@ -1,0 +1,22 @@
+// Package set defines the common interface implemented by every
+// concurrent set in this repository: the paper's workloads are sets of
+// 8-byte keys with 8-byte values supporting insert, delete and lookup.
+//
+// Keys must lie in [1, math.MaxUint64-1]: the extreme values are reserved
+// for sentinels by several structures.
+package set
+
+import flock "flock/internal/core"
+
+// Set is a concurrent unordered or ordered set with associated values.
+// All methods take the calling worker's Proc; implementations that do not
+// use the flock runtime (the lock-free baselines) ignore it.
+type Set interface {
+	// Insert adds (k, v) and reports true, or reports false if k was
+	// already present (the value is not updated).
+	Insert(p *flock.Proc, k, v uint64) bool
+	// Delete removes k and reports whether it was present.
+	Delete(p *flock.Proc, k uint64) bool
+	// Find returns the value associated with k, if present.
+	Find(p *flock.Proc, k uint64) (uint64, bool)
+}

@@ -1,0 +1,405 @@
+// Package settest provides the shared correctness suite run against every
+// set implementation in this repository (the seven Flock structures and
+// the lock-free baselines), in both lock-free and blocking modes.
+//
+// The suite covers:
+//   - sequential differential testing against a map model,
+//   - property-based random programs (testing/quick),
+//   - disjoint-partition concurrency (workers own disjoint key sets, so
+//     the final state is exactly predictable despite structural
+//     interference on shared nodes/parents),
+//   - contended stress on a small hot range with residual-state checks,
+//   - oversubscribed stress (workers >> GOMAXPROCS).
+package settest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	flock "flock/internal/core"
+	"flock/internal/lincheck"
+	"flock/internal/structures/set"
+)
+
+// Factory builds a fresh set instance bound to rt.
+type Factory func(rt *flock.Runtime) set.Set
+
+// Modes lists the runtime modes the suite exercises.
+var Modes = []struct {
+	Name     string
+	Blocking bool
+}{
+	{"lockfree", false},
+	{"blocking", true},
+}
+
+// Run executes the full suite against the factory.
+func Run(t *testing.T, f Factory) {
+	t.Helper()
+	for _, m := range Modes {
+		t.Run(m.Name, func(t *testing.T) {
+			t.Run("SequentialModel", func(t *testing.T) { sequentialModel(t, f, m.Blocking) })
+			t.Run("QuickRandomProgram", func(t *testing.T) { quickRandom(t, f, m.Blocking) })
+			t.Run("DisjointPartitions", func(t *testing.T) { disjointPartitions(t, f, m.Blocking) })
+			t.Run("ContendedStress", func(t *testing.T) { contendedStress(t, f, m.Blocking) })
+			t.Run("Oversubscribed", func(t *testing.T) { oversubscribed(t, f, m.Blocking) })
+			t.Run("Linearizable", func(t *testing.T) { linearizable(t, f, m.Blocking, 0) })
+			if !m.Blocking {
+				// Descheduling injection exercises helping on every
+				// code path; only meaningful in lock-free mode.
+				t.Run("LinearizableWithStalls", func(t *testing.T) { linearizable(t, f, false, 25) })
+			}
+		})
+	}
+}
+
+func newSet(f Factory, blocking bool) (set.Set, *flock.Runtime) {
+	rt := flock.New()
+	rt.SetBlocking(blocking)
+	return f(rt), rt
+}
+
+// sequentialModel drives one worker through a scripted mix and compares
+// every return value and lookup against a map.
+func sequentialModel(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	p := rt.Register()
+	defer p.Unregister()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(42))
+
+	const ops = 4000
+	const keySpace = 200
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Intn(keySpace) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			_, had := model[k]
+			got := s.Insert(p, k, v)
+			if got == had {
+				t.Fatalf("op %d: Insert(%d) = %v, model had=%v", i, k, got, had)
+			}
+			if !had {
+				model[k] = v
+			}
+		case 1:
+			_, had := model[k]
+			got := s.Delete(p, k)
+			if got != had {
+				t.Fatalf("op %d: Delete(%d) = %v, model had=%v", i, k, got, had)
+			}
+			delete(model, k)
+		case 2:
+			want, had := model[k]
+			v, got := s.Find(p, k)
+			if got != had || (had && v != want) {
+				t.Fatalf("op %d: Find(%d) = (%d,%v), model (%d,%v)", i, k, v, got, want, had)
+			}
+		}
+	}
+	// Full sweep at the end.
+	for k := uint64(1); k <= keySpace; k++ {
+		want, had := model[k]
+		v, got := s.Find(p, k)
+		if got != had || (had && v != want) {
+			t.Fatalf("final sweep: Find(%d) = (%d,%v), model (%d,%v)", k, v, got, want, had)
+		}
+	}
+}
+
+// quickRandom uses testing/quick to generate random op sequences.
+func quickRandom(t *testing.T, f Factory, blocking bool) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(7))}
+	prop := func(ops []uint16) bool {
+		if len(ops) > 300 {
+			ops = ops[:300]
+		}
+		s, rt := newSet(f, blocking)
+		p := rt.Register()
+		defer p.Unregister()
+		model := map[uint64]uint64{}
+		for _, code := range ops {
+			k := uint64(code%37) + 1
+			switch (code >> 6) % 3 {
+			case 0:
+				_, had := model[k]
+				if s.Insert(p, k, uint64(code)) == had {
+					return false
+				}
+				if !had {
+					model[k] = uint64(code)
+				}
+			case 1:
+				_, had := model[k]
+				if s.Delete(p, k) != had {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				want, had := model[k]
+				v, got := s.Find(p, k)
+				if got != had || (had && v != want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// disjointPartitions: workers mutate disjoint key sets concurrently.
+// Structural contention (shared parents, splits, merges, helping) is real,
+// but each key's final state is exactly determined by its owner's script.
+func disjointPartitions(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	const workers = 8
+	const keysPer = 120
+	const rounds = 4
+
+	finals := make([]map[uint64]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(w) * 911))
+			model := map[uint64]uint64{}
+			// Worker w owns keys w+1, w+1+workers, w+1+2*workers, ...
+			key := func(i int) uint64 { return uint64(w + 1 + i*workers) }
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keysPer; i++ {
+					k := key(rng.Intn(keysPer))
+					switch rng.Intn(3) {
+					case 0:
+						v := rng.Uint64()
+						_, had := model[k]
+						if s.Insert(p, k, v) == had {
+							t.Errorf("w%d: Insert(%d) inconsistent with model", w, k)
+							return
+						}
+						if !had {
+							model[k] = v
+						}
+					case 1:
+						_, had := model[k]
+						if s.Delete(p, k) != had {
+							t.Errorf("w%d: Delete(%d) inconsistent with model", w, k)
+							return
+						}
+						delete(model, k)
+					case 2:
+						want, had := model[k]
+						v, got := s.Find(p, k)
+						if got != had || (had && v != want) {
+							t.Errorf("w%d: Find(%d)=(%d,%v) model (%d,%v)", w, k, v, got, want, had)
+							return
+						}
+					}
+				}
+			}
+			finals[w] = model
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	p := rt.Register()
+	defer p.Unregister()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < keysPer; i++ {
+			k := uint64(w + 1 + i*workers)
+			want, had := finals[w][k]
+			v, got := s.Find(p, k)
+			if got != had || (had && v != want) {
+				t.Fatalf("final: key %d (worker %d) = (%d,%v), want (%d,%v)", k, w, v, got, want, had)
+			}
+		}
+	}
+}
+
+// contendedStress hammers a tiny hot key range from many workers and then
+// verifies the surviving keys are exactly resolvable: every key either
+// present with a value some worker wrote, or absent; and single-worker
+// re-verification still behaves like a set.
+func contendedStress(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	const workers = 8
+	const hotKeys = 8
+	const opsPer = 1500
+
+	type tally struct{ ins, del [hotKeys + 1]int64 }
+	tallies := make([]tally, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(w)*131 + 7))
+			for i := 0; i < opsPer; i++ {
+				k := uint64(rng.Intn(hotKeys) + 1)
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(p, k, uint64(w)+1) {
+						tallies[w].ins[k]++
+					}
+				case 1:
+					if s.Delete(p, k) {
+						tallies[w].del[k]++
+					}
+				case 2:
+					s.Find(p, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Set algebra: per key, successful inserts - successful deletes must be
+	// 0 (absent) or 1 (present) — inserts fail when present, deletes fail
+	// when absent, so the difference tracks presence exactly.
+	p := rt.Register()
+	defer p.Unregister()
+	for k := uint64(1); k <= hotKeys; k++ {
+		var ins, del int64
+		for w := 0; w < workers; w++ {
+			ins += tallies[w].ins[k]
+			del += tallies[w].del[k]
+		}
+		diff := ins - del
+		_, present := s.Find(p, k)
+		switch diff {
+		case 0:
+			if present {
+				t.Fatalf("key %d: ins-del=0 but present", k)
+			}
+		case 1:
+			if !present {
+				t.Fatalf("key %d: ins-del=1 but absent", k)
+			}
+		default:
+			t.Fatalf("key %d: ins=%d del=%d (diff %d): set semantics violated", k, ins, del, diff)
+		}
+	}
+	// The structure must still work after the storm.
+	if !s.Insert(p, hotKeys+100, 5) {
+		t.Fatalf("post-stress insert failed")
+	}
+	if v, ok := s.Find(p, hotKeys+100); !ok || v != 5 {
+		t.Fatalf("post-stress find = (%d,%v)", v, ok)
+	}
+	if !s.Delete(p, hotKeys+100) {
+		t.Fatalf("post-stress delete failed")
+	}
+}
+
+// linearizable records a contended multi-worker history through the
+// lincheck recorder and verifies a legal sequential witness exists —
+// the direct form of the paper's correctness claim (Theorems 3.1/4.1
+// compose to linearizability of the optimistic lock-based operations).
+// stallEvery > 0 additionally forces descheduling inside critical
+// sections so that most operations complete via helping.
+func linearizable(t *testing.T, f Factory, blocking bool, stallEvery int) {
+	s, rt := newSet(f, blocking)
+	rt.SetStallInjection(stallEvery)
+	const workers = 6
+	const keys = 5
+	opsPer := 250
+	if stallEvery > 0 {
+		opsPer = 80 // stalled blocking-free runs are slower; keep CI fast
+	}
+	rec := lincheck.NewRecorder(s, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := rec.Worker(w)
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(w)*1543 + 11))
+			for i := 0; i < opsPer; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(p, k, uint64(w)*1000+uint64(i))
+				case 1:
+					h.Delete(p, k)
+				default:
+					h.Find(p, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hist := rec.History()
+	if res := lincheck.Check(hist); !res.Ok {
+		t.Fatalf("history of %d ops: %v", len(hist), res)
+	}
+}
+
+// oversubscribed runs many more workers than GOMAXPROCS through a mixed
+// workload; in lock-free mode preempted critical sections get helped. The
+// assertion is the same set-algebra check as contendedStress.
+func oversubscribed(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	const workers = 24
+	const keys = 32
+	const opsPer = 400
+
+	type tally struct{ ins, del [keys + 1]int64 }
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(w)*977 + 3))
+			for i := 0; i < opsPer; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				if rng.Intn(2) == 0 {
+					if s.Insert(p, k, uint64(w+1)) {
+						tallies[w].ins[k]++
+					}
+				} else {
+					if s.Delete(p, k) {
+						tallies[w].del[k]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	p := rt.Register()
+	defer p.Unregister()
+	for k := uint64(1); k <= keys; k++ {
+		var ins, del int64
+		for w := 0; w < workers; w++ {
+			ins += tallies[w].ins[k]
+			del += tallies[w].del[k]
+		}
+		_, present := s.Find(p, k)
+		diff := ins - del
+		if diff != 0 && diff != 1 {
+			t.Fatalf("key %d: ins=%d del=%d", k, ins, del)
+		}
+		if (diff == 1) != present {
+			t.Fatalf("key %d: diff=%d present=%v", k, diff, present)
+		}
+	}
+}

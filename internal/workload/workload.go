@@ -1,0 +1,200 @@
+// Package workload generates the paper's YCSB-style benchmark workloads
+// (§8): keys drawn from [1, r] under a zipfian distribution with
+// parameter alpha (alpha = 0 is uniform), an operation mix with a given
+// update percentage (updates split evenly between inserts and deletes,
+// the rest lookups — YCSB A/B shapes), deterministic per-worker streams,
+// and the deterministic half-full prefill.
+package workload
+
+import (
+	"math"
+	"sync"
+)
+
+// SplitMix64 is a tiny, fast, well-distributed PRNG (Steele et al.); one
+// instance per worker gives deterministic, independent streams.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 seeds a generator.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// Hash64 is the stateless splitmix64 finalizer, used to sparsify keys
+// (the paper hashes keys for the arttree so the trie does not benefit
+// from dense packing) and for the deterministic prefill coin.
+func Hash64(x uint64) uint64 {
+	z := x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Zipf draws ranks from [1, n] with P(rank i) proportional to 1/i^theta,
+// using the Gray et al. method as in YCSB. theta = 0 degenerates to the
+// uniform distribution (taking a fast path).
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// zetaCache memoizes the expensive zeta(n, theta) sums across generators
+// (the paper's largest range is 100M; the sum is linear in n).
+var zetaCache sync.Map // key: [2]float64{n, theta} -> float64
+
+func zeta(n uint64, theta float64) float64 {
+	key := [2]float64{float64(n), theta}
+	if v, ok := zetaCache.Load(key); ok {
+		return v.(float64)
+	}
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	zetaCache.Store(key, sum)
+	return sum
+}
+
+// NewZipf builds a generator for ranks in [1, n].
+func NewZipf(n uint64, theta float64) *Zipf {
+	z := &Zipf{n: n, theta: theta}
+	if theta == 0 {
+		return z
+	}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1.0 - math.Pow(2.0/float64(n), 1.0-theta)) / (1.0 - z.zeta2/z.zetan)
+	return z
+}
+
+// Next draws a rank in [1, n].
+func (z *Zipf) Next(rng *SplitMix64) uint64 {
+	if z.theta == 0 {
+		return rng.Next()%z.n + 1
+	}
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 1
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 2
+	}
+	return 1 + uint64(float64(z.n)*math.Pow(z.eta*u-z.eta+1.0, z.alpha))
+}
+
+// Op is one generated operation.
+type Op uint8
+
+// Operation kinds, split per the paper: update percentage shared evenly
+// between inserts and deletes; the remainder are lookups.
+const (
+	OpFind Op = iota
+	OpInsert
+	OpDelete
+)
+
+// Mix generates the paper's operation mix over a key range.
+type Mix struct {
+	zipf      *Zipf
+	updatePct int  // 0..100
+	hashKeys  bool // sparsify keys (arttree experiments)
+	rng       *SplitMix64
+}
+
+// NewMix builds a per-worker generator. Each worker passes a distinct
+// seed for an independent deterministic stream.
+func NewMix(keyRange uint64, updatePct int, alpha float64, hashKeys bool, seed uint64) *Mix {
+	return &Mix{
+		zipf:      NewZipf(keyRange, alpha),
+		updatePct: updatePct,
+		hashKeys:  hashKeys,
+		rng:       NewSplitMix64(seed),
+	}
+}
+
+// Next returns the next operation and key.
+func (m *Mix) Next() (Op, uint64) {
+	r := m.rng.Next()
+	k := m.zipf.Next(m.rng)
+	if m.hashKeys {
+		k = Hash64(k) | 1 // keep nonzero
+	}
+	if int(r%100) < m.updatePct {
+		if (r>>32)&1 == 0 {
+			return OpInsert, k
+		}
+		return OpDelete, k
+	}
+	return OpFind, k
+}
+
+// PrefillKey reports whether key k belongs to the deterministic prefill
+// (each key included with probability 1/2, so the structure starts half
+// full and the even insert/delete split keeps it stable).
+func PrefillKey(k uint64) bool { return Hash64(k^0xabcdef12345678)&1 == 0 }
+
+// PrefillKeyHashed is the prefill decision for hashed-key workloads: the
+// same coin, and the actual stored key.
+func PrefillKeyHashed(k uint64) (uint64, bool) {
+	return Hash64(k) | 1, PrefillKey(k)
+}
+
+// Permutation is a deterministic pseudo-random bijection on [1, n],
+// used to shuffle prefill insertion order: inserting keys in ascending
+// order would degenerate the unbalanced trees into spines, whereas the
+// paper's structures are "balanced in expectation due to random
+// inserts". It is a 4-round Feistel network over 2k bits (the smallest
+// even-bit width covering n) with cycle-walking to stay within range,
+// so it needs O(1) memory even for the paper's 100M-key prefills.
+type Permutation struct {
+	n    uint64
+	half uint   // bits per Feistel half
+	mask uint64 // half-width mask
+	seed uint64
+}
+
+// NewPermutation builds a bijection on [1, n].
+func NewPermutation(n uint64, seed uint64) *Permutation {
+	bits := uint(1)
+	for (uint64(1) << (2 * bits)) < n {
+		bits++
+	}
+	return &Permutation{n: n, half: bits, mask: (uint64(1) << bits) - 1, seed: seed}
+}
+
+// Apply maps i in [1, n] to a unique key in [1, n].
+func (pm *Permutation) Apply(i uint64) uint64 {
+	x := i - 1
+	for {
+		l := x >> pm.half
+		r := x & pm.mask
+		for round := uint64(0); round < 4; round++ {
+			l, r = r, l^(Hash64(r^(pm.seed+round*0x9e3779b97f4a7c15))&pm.mask)
+		}
+		x = l<<pm.half | r
+		if x < pm.n {
+			return x + 1
+		}
+		// Cycle-walk: re-encrypt until the value lands in range.
+	}
+}

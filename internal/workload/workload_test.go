@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMixDeterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewSplitMix64(43)
+	same := 0
+	a = NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestSplitMixKnownVector(t *testing.T) {
+	// Reference values for splitmix64 with seed 0 (Vigna's reference
+	// implementation produces this first output).
+	s := NewSplitMix64(0)
+	if got := s.Next(); got != 0xe220a8397b1dcdaf {
+		t.Fatalf("splitmix64(0) first output = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSplitMix64(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip ~32 output bits on average.
+	totalFlips := 0
+	const trials = 64
+	for b := 0; b < trials; b++ {
+		x := uint64(0x123456789abcdef)
+		d := Hash64(x) ^ Hash64(x^(1<<uint(b)))
+		totalFlips += popcount(d)
+	}
+	avg := float64(totalFlips) / trials
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average %.1f bits, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(100, 0)
+	rng := NewSplitMix64(1)
+	counts := make([]int, 101)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Next(rng)
+		if k < 1 || k > 100 {
+			t.Fatalf("rank %d out of range", k)
+		}
+		counts[k]++
+	}
+	exp := draws / 100
+	for k := 1; k <= 100; k++ {
+		if counts[k] < exp/2 || counts[k] > exp*2 {
+			t.Fatalf("uniform: rank %d count %d far from %d", k, counts[k], exp)
+		}
+	}
+}
+
+func TestZipfSkewMatchesTheory(t *testing.T) {
+	// For zipf(theta), P(1)/P(2) = 2^theta. Check empirically at the
+	// paper's strongest skew.
+	const theta = 0.99
+	z := NewZipf(1000, theta)
+	rng := NewSplitMix64(99)
+	var c1, c2 int
+	const draws = 400000
+	for i := 0; i < draws; i++ {
+		switch z.Next(rng) {
+		case 1:
+			c1++
+		case 2:
+			c2++
+		}
+	}
+	ratio := float64(c1) / float64(c2)
+	want := math.Pow(2, theta)
+	if ratio < want*0.9 || ratio > want*1.1 {
+		t.Fatalf("P(1)/P(2) = %.3f, want ~%.3f", ratio, want)
+	}
+	// Head concentration: rank 1 should dominate.
+	if float64(c1)/draws < 0.10 {
+		t.Fatalf("rank 1 frequency %.3f too low for theta=0.99", float64(c1)/draws)
+	}
+}
+
+func TestZipfRanksInRange(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint16, thetaRaw uint8) bool {
+		n := uint64(nRaw%1000) + 2
+		theta := float64(thetaRaw%100) / 100.0
+		z := NewZipf(n, theta)
+		rng := NewSplitMix64(seed)
+		for i := 0; i < 200; i++ {
+			k := z.Next(rng)
+			if k < 1 || k > n {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	for _, upd := range []int{0, 5, 10, 50, 100} {
+		m := NewMix(1000, upd, 0.75, false, 7)
+		var ins, del, find int
+		const draws = 100000
+		for i := 0; i < draws; i++ {
+			op, k := m.Next()
+			if k < 1 || k > 1000 {
+				t.Fatalf("key %d out of range", k)
+			}
+			switch op {
+			case OpInsert:
+				ins++
+			case OpDelete:
+				del++
+			default:
+				find++
+			}
+		}
+		gotUpd := float64(ins+del) / draws * 100
+		if gotUpd < float64(upd)-2 || gotUpd > float64(upd)+2 {
+			t.Fatalf("upd=%d%%: measured %.1f%%", upd, gotUpd)
+		}
+		if upd > 0 {
+			bal := float64(ins) / float64(ins+del)
+			if bal < 0.45 || bal > 0.55 {
+				t.Fatalf("upd=%d%%: insert share %.2f, want ~0.5", upd, bal)
+			}
+		}
+	}
+}
+
+func TestMixHashedKeysNonZeroAndSpread(t *testing.T) {
+	m := NewMix(1000, 50, 0.99, true, 3)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		_, k := m.Next()
+		if k == 0 {
+			t.Fatalf("hashed key 0")
+		}
+		seen[k] = true
+	}
+	// Hot ranks map to scattered keys, but the number of distinct keys is
+	// still bounded by the rank range.
+	if len(seen) > 1000 {
+		t.Fatalf("more distinct hashed keys (%d) than ranks", len(seen))
+	}
+	if len(seen) < 100 {
+		t.Fatalf("suspiciously few distinct keys: %d", len(seen))
+	}
+}
+
+func TestPrefillRoughlyHalf(t *testing.T) {
+	n := 0
+	const r = 100000
+	for k := uint64(1); k <= r; k++ {
+		if PrefillKey(k) {
+			n++
+		}
+	}
+	if n < r*45/100 || n > r*55/100 {
+		t.Fatalf("prefill selects %d of %d keys, want ~half", n, r)
+	}
+	// Deterministic.
+	if PrefillKey(12345) != PrefillKey(12345) {
+		t.Fatalf("prefill coin not deterministic")
+	}
+	hk, in := PrefillKeyHashed(77)
+	if hk != Hash64(77)|1 || in != PrefillKey(77) {
+		t.Fatalf("hashed prefill inconsistent")
+	}
+}
+
+func TestPermutationIsBijective(t *testing.T) {
+	for _, n := range []uint64{1, 2, 7, 100, 1000, 4097} {
+		pm := NewPermutation(n, 99)
+		seen := make(map[uint64]bool, n)
+		for i := uint64(1); i <= n; i++ {
+			k := pm.Apply(i)
+			if k < 1 || k > n {
+				t.Fatalf("n=%d: Apply(%d)=%d out of range", n, i, k)
+			}
+			if seen[k] {
+				t.Fatalf("n=%d: duplicate output %d", n, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestPermutationShuffles(t *testing.T) {
+	// The output must not be (close to) the identity or monotone: count
+	// ascending adjacent pairs; random order gives ~half.
+	const n = 10000
+	pm := NewPermutation(n, 5)
+	asc := 0
+	prev := pm.Apply(1)
+	for i := uint64(2); i <= n; i++ {
+		k := pm.Apply(i)
+		if k > prev {
+			asc++
+		}
+		prev = k
+	}
+	if asc < n*35/100 || asc > n*65/100 {
+		t.Fatalf("%d/%d ascending adjacent pairs; order not shuffled", asc, n)
+	}
+}
+
+func TestZetaCached(t *testing.T) {
+	// Building two generators with the same parameters must hit the cache
+	// (observable only via timing, so just verify equality of internals).
+	a := NewZipf(5000, 0.9)
+	b := NewZipf(5000, 0.9)
+	if a.zetan != b.zetan || a.eta != b.eta {
+		t.Fatalf("zeta cache produced different constants")
+	}
+}
