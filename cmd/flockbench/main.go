@@ -18,6 +18,12 @@
 //
 //	flockbench -structure leaftree -threads 16 -keys 100000 -update 50 -alpha 0.99 -blocking
 //
+// Pit the flock ART against the specialized optimistic-lock-coupling
+// ART baseline (both use hashed keys, as in Figure 6):
+//
+//	flockbench -structure arttree -threads 16 -hashkeys
+//	flockbench -structure olcart -threads 16 -hashkeys
+//
 // The descheduling-injection extension (DESIGN.md S3):
 //
 //	flockbench -structure leaftree -threads 16 -stall 100

@@ -1,0 +1,86 @@
+package olcart
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// olock is a per-node optimistic version lock (Leis et al., "The ART of
+// Practical Synchronization", DaMoN 2016, Appendix A): a single counter
+// whose parity encodes the lock state — even = unlocked, odd = locked —
+// and whose value is the node's version. Readers take no lock at all:
+// they remember the version, read, and validate that the version is
+// unchanged; any intervening write (which always bumps the counter by 2
+// through a lock/unlock pair) forces a restart. Writers upgrade a
+// remembered version to the locked state with a single CAS, which
+// atomically validates and acquires.
+//
+// Obsolescence (a node unlinked by a structural replacement) is tracked
+// in the owning node's dead flag rather than a stolen version bit; it is
+// set under the node's write lock, so a reader that observed the node
+// alive and then validates its version is guaranteed the node was still
+// linked at the validation point.
+type olock struct {
+	v atomic.Uint64
+}
+
+// spinLimit bounds busy-waiting on a locked version before yielding the
+// processor — on the oversubscribed configurations this repository
+// studies, the holder often isn't running.
+const spinLimit = 64
+
+// await spins until the lock is unlocked and returns the observed
+// (even) version.
+func (l *olock) await() uint64 {
+	spins := 0
+	for {
+		v := l.v.Load()
+		if v&1 == 0 {
+			return v
+		}
+		spins++
+		if spins >= spinLimit {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// validate reports whether the version is still exactly v — i.e. no
+// writer acquired the lock since v was read.
+func (l *olock) validate(v uint64) bool {
+	return l.v.Load() == v
+}
+
+// upgrade atomically validates version v and acquires the write lock.
+func (l *olock) upgrade(v uint64) bool {
+	return l.v.CompareAndSwap(v, v+1)
+}
+
+// upgradeOr is upgrade, releasing held (an already-acquired lock) on
+// failure so callers can lock-couple parent then child without leaking
+// the parent lock on a failed child upgrade.
+func (l *olock) upgradeOr(v uint64, held *olock) bool {
+	if l.v.CompareAndSwap(v, v+1) {
+		return true
+	}
+	held.unlock()
+	return false
+}
+
+// lock acquires the write lock unconditionally (pessimistic mode).
+func (l *olock) lock() {
+	for {
+		v := l.await()
+		if l.v.CompareAndSwap(v, v+1) {
+			return
+		}
+	}
+}
+
+// unlock releases the write lock, advancing the version to a fresh even
+// value so every optimistic reader concurrent with the critical section
+// fails validation.
+func (l *olock) unlock() {
+	l.v.Add(1)
+}

@@ -109,6 +109,9 @@ var (
 	otherSeries = []Series{
 		{Name: "arttree-bl", Structure: "arttree", Blocking: true, HashKeys: true},
 		{Name: "arttree-lf", Structure: "arttree", Blocking: false, HashKeys: true},
+		// Specialized ART baseline (optimistic lock coupling), the
+		// hand-crafted competitor for the two flock arttree series.
+		{Name: "olcart", Structure: "olcart", HashKeys: true},
 		{Name: "leaftreap-bl", Structure: "leaftreap", Blocking: true},
 		{Name: "leaftreap-lf", Structure: "leaftreap", Blocking: false},
 		{Name: "hashtable-bl", Structure: "hashtable", Blocking: true},

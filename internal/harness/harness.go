@@ -19,6 +19,7 @@ import (
 	"flock/internal/baseline/ellen"
 	"flock/internal/baseline/harris"
 	"flock/internal/baseline/natarajan"
+	"flock/internal/baseline/olcart"
 	"flock/internal/structures/abtree"
 	"flock/internal/structures/arttree"
 	"flock/internal/structures/couplist"
@@ -55,6 +56,7 @@ var registry = map[string]Factory{
 	"harris_opt": func(*flock.Runtime, uint64) set.Set { return harris.New(true) },
 	"natarajan":  func(*flock.Runtime, uint64) set.Set { return natarajan.New() },
 	"ellen":      func(*flock.Runtime, uint64) set.Set { return ellen.New() },
+	"olcart":     func(*flock.Runtime, uint64) set.Set { return olcart.New() },
 }
 
 // Structures returns the sorted registry keys.

@@ -18,7 +18,7 @@ func TestEveryStructureRunsBothModes(t *testing.T) {
 				KeyRange:  512,
 				UpdatePct: 50,
 				Alpha:     0.9,
-				HashKeys:  name == "arttree",
+				HashKeys:  name == "arttree" || name == "olcart",
 				Duration:  30 * time.Millisecond,
 				Seed:      7,
 			}

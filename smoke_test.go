@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"flock/internal/harness"
+)
+
+// TestFigureSpecsSmoke runs one tiny measurement per (figure, series)
+// point so that regressions in the figure spec tables — a series naming
+// an unregistered structure, an Xs function yielding nothing, a SpecFor
+// building an unrunnable spec — fail `go test ./...` instead of only
+// surfacing under -bench, where nothing runs them in CI.
+func TestFigureSpecsSmoke(t *testing.T) {
+	sc := harness.DefaultScale()
+	// Shrink everything: correctness of the plumbing is the target, not
+	// meaningful throughput numbers. LargeKeys stays at 1000 so fig5h's
+	// size sweep (which starts at 1000) is non-empty.
+	sc.LargeKeys = 1000
+	sc.SmallKeys = 200
+	sc.ListKeys = 50
+	sc.Duration = 2 * time.Millisecond
+	sc.Warmup = 0
+	sc.Repeats = 1
+	sc.Threads = []int{2}
+	sc.Base = 2
+	sc.Over = 4
+
+	figs := harness.Figures()
+	if len(figs) == 0 {
+		t.Fatal("no figure specs registered")
+	}
+	for _, id := range harness.FigureIDs() {
+		fs := figs[id]
+		xs := fs.Xs(sc)
+		if len(xs) == 0 {
+			t.Errorf("%s: empty x axis", id)
+			continue
+		}
+		x := xs[0]
+		for _, s := range fs.Series {
+			spec := fs.SpecFor(sc, s, x)
+			res, err := harness.RunTimed(spec)
+			if err != nil {
+				t.Errorf("%s series %s at x=%s: %v", id, s.Name, x, err)
+				continue
+			}
+			if res.Ops == 0 {
+				t.Errorf("%s series %s at x=%s: zero ops", id, s.Name, x)
+			}
+		}
+	}
+}
