@@ -38,6 +38,7 @@ func benchScale() harness.Scale {
 	sc.Threads = []int{1, 4, 16}
 	sc.Base = 8
 	sc.Over = 24
+	sc.Shards = 4
 	sc.Duration = 50 * time.Millisecond
 	return sc
 }
@@ -45,9 +46,14 @@ func benchScale() harness.Scale {
 var workerSeq atomic.Uint64
 
 // benchPoint measures one figure point: b.N operations spread over
-// spec.Threads parallel workers against a prefilled structure.
+// spec.Threads parallel workers against a prefilled structure (or a
+// prefilled kv.Store for YCSB specs).
 func benchPoint(b *testing.B, spec harness.Spec) {
 	b.Helper()
+	if spec.YCSB != "" {
+		benchKVPoint(b, spec)
+		return
+	}
 	s, rt, err := harness.NewInstance(spec)
 	if err != nil {
 		b.Fatal(err)
@@ -79,6 +85,45 @@ func benchPoint(b *testing.B, spec harness.Spec) {
 	}
 }
 
+// benchKVPoint is benchPoint for the KV/YCSB figures.
+func benchKVPoint(b *testing.B, spec harness.Spec) {
+	b.Helper()
+	st, err := harness.NewKVInstance(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	harness.PrefillKV(st, spec)
+	st.SetStallInjection(spec.StallEvery)
+	b.SetParallelism(spec.Threads)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := st.Register()
+		defer c.Close()
+		mix, err := workload.NewYCSB(spec.YCSB, spec.KeyRange, spec.Alpha,
+			spec.HashKeys, spec.Seed+workerSeq.Add(1)*0x9e3779b9)
+		if err != nil {
+			panic(err) // spec already validated by NewKVInstance
+		}
+		var n uint64
+		for pb.Next() {
+			op, k := mix.Next()
+			switch op {
+			case workload.YUpdate:
+				c.Put(k, k+n)
+			case workload.YRMW:
+				c.ReadModifyWrite(k, func(old uint64, _ bool) uint64 { return old + 1 })
+			default:
+				c.Get(k)
+			}
+			n++
+		}
+	})
+	b.StopTimer()
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(b.N)/el/1e6, "Mops")
+	}
+}
+
 // benchFigure expands a figure spec into sub-benchmarks.
 func benchFigure(b *testing.B, id string) {
 	sc := benchScale()
@@ -96,7 +141,7 @@ func benchFigure(b *testing.B, id string) {
 	}
 }
 
-// One benchmark per figure in the paper's evaluation (DESIGN.md §4).
+// One benchmark per figure in the paper's evaluation (DESIGN.md S8).
 
 func Benchmark_Fig4(b *testing.B)  { benchFigure(b, "fig4") }
 func Benchmark_Fig5a(b *testing.B) { benchFigure(b, "fig5a") }
@@ -115,3 +160,11 @@ func Benchmark_Fig7b(b *testing.B) { benchFigure(b, "fig7b") }
 // Benchmark_ExtStall is the descheduling-injection extension (the
 // explicit form of the paper's oversubscription effect; DESIGN.md S3).
 func Benchmark_ExtStall(b *testing.B) { benchFigure(b, "ext-stall") }
+
+// The KV-layer YCSB extension figures (DESIGN.md S9).
+
+func Benchmark_ExtYCSBA(b *testing.B)      { benchFigure(b, "ext-ycsb-a") }
+func Benchmark_ExtYCSBB(b *testing.B)      { benchFigure(b, "ext-ycsb-b") }
+func Benchmark_ExtYCSBC(b *testing.B)      { benchFigure(b, "ext-ycsb-c") }
+func Benchmark_ExtYCSBF(b *testing.B)      { benchFigure(b, "ext-ycsb-f") }
+func Benchmark_ExtYCSBShards(b *testing.B) { benchFigure(b, "ext-ycsb-shards") }

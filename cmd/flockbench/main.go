@@ -27,9 +27,20 @@
 // The descheduling-injection extension (DESIGN.md S3):
 //
 //	flockbench -structure leaftree -threads 16 -stall 100
+//
+// The KV-layer YCSB extension (DESIGN.md S9) — sharded kv.Store, with
+// p50/p95/p99 latency reported alongside Mop/s:
+//
+//	flockbench -figure ext-ycsb-a
+//	flockbench -structure leaftree -ycsb f -shards 8 -threads 16
+//
+// Machine-readable capture (one JSON record per point, JSONL):
+//
+//	flockbench -figure all -json > BENCH_all.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,9 +53,10 @@ import (
 
 func main() {
 	var (
-		figure    = flag.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, or 'all')")
+		figure    = flag.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-ycsb-{a,b,c,f,shards}, or 'all')")
 		list      = flag.Bool("list", false, "list figures and structures")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut   = flag.Bool("json", false, "emit one JSON record per point (JSONL) with Mops and latency percentiles")
 		largeKeys = flag.Uint64("largekeys", 0, "override the 'large' key range (paper: 100M)")
 		smallKeys = flag.Uint64("smallkeys", 0, "override the 'small' key range (paper: 100K)")
 		duration  = flag.Duration("duration", 0, "per-point run duration (paper: 3s)")
@@ -62,6 +74,8 @@ func main() {
 		blocking  = flag.Bool("blocking", false, "single-point: blocking mode")
 		hashKeys  = flag.Bool("hashkeys", false, "single-point: sparsify keys by hashing")
 		stall     = flag.Int("stall", 0, "single-point: inject a deschedule every N critical sections")
+		ycsb      = flag.String("ycsb", "", "single-point: run a YCSB workload (a, b, c, f) against the sharded KV store")
+		shards    = flag.Int("shards", 0, "KV shard count (single-point -ycsb, and the default for ext-ycsb figures)")
 		seed      = flag.Uint64("seed", 42, "workload seed")
 	)
 	flag.Parse()
@@ -102,6 +116,9 @@ func main() {
 	if *overTh > 0 {
 		sc.Over = *overTh
 	}
+	if *shards > 0 {
+		sc.Shards = *shards
+	}
 	if *sweep != "" {
 		var ts []int
 		for _, part := range strings.Split(*sweep, ",") {
@@ -129,7 +146,11 @@ func main() {
 			if err != nil {
 				fatalf("figure %s: %v", id, err)
 			}
-			printFigure(fig, *csv)
+			if *jsonOut {
+				printFigureJSON(fig)
+			} else {
+				printFigure(fig, *csv)
+			}
 		}
 	case *structure != "":
 		spec := harness.Spec{
@@ -143,17 +164,71 @@ func main() {
 			Duration:   orDefault(sc.Duration, 500*time.Millisecond),
 			Seed:       *seed,
 			StallEvery: *stall,
+			YCSB:       *ycsb,
+			Shards:     *shards,
 		}
-		mean, std, err := harness.RunAveraged(spec, sc.Warmup, sc.Repeats)
+		if spec.YCSB != "" && spec.Shards < 1 {
+			spec.Shards = 1
+		}
+		st, err := harness.RunStats(spec, sc.Warmup, sc.Repeats)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("%s threads=%d keys=%d update=%d%% alpha=%.2f blocking=%v stall=%d: %.3f Mop/s (±%.3f)\n",
-			*structure, *threads, *keys, *update, *alpha, *blocking, *stall, mean, std)
+		if *jsonOut {
+			writeJSON(pointRecord{
+				Figure: "custom", Series: *structure, X: fmt.Sprint(*threads),
+				Mops: st.Mops, Std: st.Std,
+				P50ns: st.P50.Nanoseconds(), P95ns: st.P95.Nanoseconds(), P99ns: st.P99.Nanoseconds(),
+			})
+			return
+		}
+		mode := ""
+		if *ycsb != "" {
+			mode = fmt.Sprintf(" ycsb=%s shards=%d", *ycsb, spec.Shards)
+		}
+		fmt.Printf("%s threads=%d keys=%d update=%d%% alpha=%.2f blocking=%v stall=%d%s: %.3f Mop/s (±%.3f)  p50=%s p95=%s p99=%s\n",
+			*structure, *threads, *keys, *update, *alpha, *blocking, *stall, mode,
+			st.Mops, st.Std, fmtLat(st.P50), fmtLat(st.P95), fmtLat(st.P99))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// pointRecord is the -json output schema: one record per measured
+// (figure, series, x) point, suitable for capture as BENCH_*.json.
+type pointRecord struct {
+	Figure string  `json:"figure"`
+	Series string  `json:"series"`
+	X      string  `json:"x"`
+	Mops   float64 `json:"mops"`
+	Std    float64 `json:"std"`
+	P50ns  int64   `json:"p50_ns"`
+	P95ns  int64   `json:"p95_ns"`
+	P99ns  int64   `json:"p99_ns"`
+}
+
+func writeJSON(rec pointRecord) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		fatalf("encoding point: %v", err)
+	}
+	fmt.Println(string(b))
+}
+
+func printFigureJSON(fig harness.Figure) {
+	for _, pt := range fig.Points {
+		writeJSON(pointRecord{
+			Figure: fig.ID, Series: pt.Series, X: pt.X,
+			Mops: pt.Mops, Std: pt.Std,
+			P50ns: pt.P50.Nanoseconds(), P95ns: pt.P95.Nanoseconds(), P99ns: pt.P99.Nanoseconds(),
+		})
+	}
+}
+
+// fmtLat renders a latency compactly in microseconds.
+func fmtLat(d time.Duration) string {
+	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
 }
 
 func orDefault(d, def time.Duration) time.Duration {
@@ -185,11 +260,25 @@ func printFigure(fig harness.Figure, csv bool) {
 	}
 
 	if csv {
-		fmt.Printf("%s,%s\n", fig.XLabel, strings.Join(seriesNames, ","))
+		// Mops columns first (one per series), then per-series latency
+		// percentile columns in microseconds.
+		header := []string{fig.XLabel}
+		header = append(header, seriesNames...)
+		for _, s := range seriesNames {
+			header = append(header, s+":p50us", s+":p95us", s+":p99us")
+		}
+		fmt.Println(strings.Join(header, ","))
 		for _, x := range xs {
 			row := []string{x}
 			for _, s := range seriesNames {
 				row = append(row, fmt.Sprintf("%.4f", vals[[2]string{s, x}].Mops))
+			}
+			for _, s := range seriesNames {
+				pt := vals[[2]string{s, x}]
+				row = append(row,
+					fmt.Sprintf("%.2f", float64(pt.P50.Nanoseconds())/1e3),
+					fmt.Sprintf("%.2f", float64(pt.P95.Nanoseconds())/1e3),
+					fmt.Sprintf("%.2f", float64(pt.P99.Nanoseconds())/1e3))
 			}
 			fmt.Println(strings.Join(row, ","))
 		}
@@ -201,6 +290,9 @@ func printFigure(fig harness.Figure, csv bool) {
 			w = len(s)
 		}
 	}
+	if w < 20 {
+		w = 20 // room for the p50/p95/p99 triples
+	}
 	fmt.Printf("%-12s", fig.XLabel)
 	for _, s := range seriesNames {
 		fmt.Printf(" %*s", w, s)
@@ -210,6 +302,23 @@ func printFigure(fig harness.Figure, csv bool) {
 		fmt.Printf("%-12s", x)
 		for _, s := range seriesNames {
 			fmt.Printf(" %*.3f", w, vals[[2]string{s, x}].Mops)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-12s", "")
+	for _, s := range seriesNames {
+		fmt.Printf(" %*s", w, s)
+	}
+	fmt.Println(" (p50/p95/p99 µs)")
+	for _, x := range xs {
+		fmt.Printf("%-12s", x)
+		for _, s := range seriesNames {
+			pt := vals[[2]string{s, x}]
+			cell := fmt.Sprintf("%.1f/%.1f/%.1f",
+				float64(pt.P50.Nanoseconds())/1e3,
+				float64(pt.P95.Nanoseconds())/1e3,
+				float64(pt.P99.Nanoseconds())/1e3)
+			fmt.Printf(" %*s", w, cell)
 		}
 		fmt.Println()
 	}

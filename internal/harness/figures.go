@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -24,6 +25,7 @@ type Scale struct {
 	Threads   []int // thread sweep for the *a/*e figures
 	Base      int   // the paper's "144 threads" full-subscription point
 	Over      int   // the paper's "216 threads" oversubscribed point
+	Shards    int   // default kv.Store shard count for the ext-ycsb figures
 	Seed      uint64
 }
 
@@ -44,24 +46,31 @@ func DefaultScale() Scale {
 		Threads:   []int{1, 2, 4, 8, 16, 32},
 		Base:      base,
 		Over:      3 * base,
+		Shards:    8,
 		Seed:      42,
 	}
 }
 
-// Series names one line in a figure.
+// Series names one line in a figure. Shards applies to the KV (YCSB)
+// figures: 0 means "use Scale.Shards", 1 is the unsharded control.
 type Series struct {
 	Name      string
 	Structure string
 	Blocking  bool
 	HashKeys  bool
+	Shards    int
 }
 
-// Point is one measured figure point.
+// Point is one measured figure point, with tail-latency percentiles
+// alongside the paper's throughput metric.
 type Point struct {
 	Series string
 	X      string
 	Mops   float64
 	Std    float64
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
 }
 
 // Figure is a fully measured figure.
@@ -130,6 +139,24 @@ var (
 		{Name: "dlist-lf", Structure: "dlist", Blocking: false},
 	}
 
+	// Extension: the KV layer (internal/kv) under YCSB mixes. Blocking
+	// vs lock-free on the same sharded store, plus an unsharded control
+	// (Shards: 1) showing what sharding itself buys; hashtable-lf adds
+	// the structure the paper found cheapest to make lock-free.
+	kvSeries = []Series{
+		{Name: "kv-leaftree-lf", Structure: "leaftree", Blocking: false},
+		{Name: "kv-leaftree-bl", Structure: "leaftree", Blocking: true},
+		{Name: "kv-leaftree-lf-1shard", Structure: "leaftree", Blocking: false, Shards: 1},
+		{Name: "kv-hashtable-lf", Structure: "hashtable", Blocking: false},
+	}
+	// The shard sweep compares modes at a fixed oversubscribed thread
+	// count while the x axis varies the shard count.
+	kvShardSeries = []Series{
+		{Name: "kv-leaftree-lf", Structure: "leaftree", Blocking: false},
+		{Name: "kv-leaftree-bl", Structure: "leaftree", Blocking: true},
+		{Name: "kv-hashtable-lf", Structure: "hashtable", Blocking: false},
+	}
+
 	alphas  = []string{"0", "0.75", "0.9", "0.99"}
 	updates = []string{"0", "5", "10", "50"}
 )
@@ -142,19 +169,27 @@ func threadsXs(sc Scale) []string {
 	return out
 }
 
+// atof and atoi parse x-axis values from the figure spec tables. The
+// tables are compile-time data, so a malformed value is a programming
+// error: these panic instead of silently yielding 0 (which would turn a
+// typo into a nonsense spec that still "runs").
 func atof(s string) float64 {
-	var f float64
-	fmt.Sscan(s, &f)
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		panic(fmt.Sprintf("harness: malformed numeric x value %q: %v", s, err))
+	}
 	return f
 }
 
 func atoi(s string) int {
-	var n int
-	fmt.Sscan(s, &n)
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		panic(fmt.Sprintf("harness: malformed integer x value %q: %v", s, err))
+	}
 	return n
 }
 
-// figSpecs builds the full experiment index (DESIGN.md §4).
+// figSpecs builds the full experiment index (DESIGN.md S8).
 func figSpecs() []FigureSpec {
 	base := func(sc Scale, s Series) Spec {
 		return Spec{
@@ -165,7 +200,7 @@ func figSpecs() []FigureSpec {
 			Seed:      sc.Seed,
 		}
 	}
-	return []FigureSpec{
+	specs := []FigureSpec{
 		{
 			ID:     "fig4",
 			Paper:  "Fig 4: try vs strict lock, 100K keys, 144 threads, 50% updates, zipfian sweep",
@@ -353,6 +388,56 @@ func figSpecs() []FigureSpec {
 			},
 		},
 	}
+	// Extension: YCSB mixes against the sharded KV layer (DESIGN.md S9).
+	// Thread sweeps for workloads A, B, C and F, plus a shard sweep:
+	// these are the figures where the helping win appears as tail
+	// latency (p99), not just Mop/s.
+	ycsbSpec := func(sc Scale, s Series, ycsb string, threads int, shards int) Spec {
+		if shards == 0 {
+			shards = sc.Shards
+		}
+		return Spec{
+			Structure: s.Structure,
+			Blocking:  s.Blocking,
+			HashKeys:  s.HashKeys,
+			Threads:   threads,
+			KeyRange:  sc.SmallKeys,
+			Alpha:     0.99, // YCSB's default zipfian skew
+			Duration:  sc.Duration,
+			Seed:      sc.Seed,
+			YCSB:      ycsb,
+			Shards:    shards,
+		}
+	}
+	for _, w := range []struct{ name, what string }{
+		{"a", "50% read / 50% update"},
+		{"b", "95% read / 5% update"},
+		{"c", "read-only"},
+		{"f", "50% read / 50% read-modify-write"},
+	} {
+		w := w
+		specs = append(specs, FigureSpec{
+			ID:     "ext-ycsb-" + w.name,
+			Paper:  fmt.Sprintf("Extension: YCSB-%s (%s) on the sharded KV store, zipfian 0.99, thread sweep", w.name, w.what),
+			XLabel: "threads",
+			Series: kvSeries,
+			Xs:     threadsXs,
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				return ycsbSpec(sc, s, w.name, atoi(x), s.Shards)
+			},
+		})
+	}
+	specs = append(specs, FigureSpec{
+		ID:     "ext-ycsb-shards",
+		Paper:  "Extension: YCSB-A on the KV store, oversubscribed threads, zipfian 0.99, shard sweep",
+		XLabel: "shards",
+		Series: kvShardSeries,
+		Xs:     func(Scale) []string { return []string{"1", "2", "4", "8", "16"} },
+		SpecFor: func(sc Scale, s Series, x string) Spec {
+			return ycsbSpec(sc, s, "a", sc.Over, atoi(x))
+		},
+	})
+	return specs
 }
 
 // Figures returns the experiment index keyed by figure id.
@@ -380,11 +465,14 @@ func RunFigure(fs FigureSpec, sc Scale) (Figure, error) {
 	for _, x := range fs.Xs(sc) {
 		for _, s := range fs.Series {
 			spec := fs.SpecFor(sc, s, x)
-			mean, std, err := RunAveraged(spec, sc.Warmup, sc.Repeats)
+			st, err := RunStats(spec, sc.Warmup, sc.Repeats)
 			if err != nil {
 				return fig, err
 			}
-			fig.Points = append(fig.Points, Point{Series: s.Name, X: x, Mops: mean, Std: std})
+			fig.Points = append(fig.Points, Point{
+				Series: s.Name, X: x, Mops: st.Mops, Std: st.Std,
+				P50: st.P50, P95: st.P95, P99: st.P99,
+			})
 		}
 	}
 	return fig, nil

@@ -2,7 +2,7 @@
 // a set structure to half its key range, then hammer it with a mixed
 // workload from T worker goroutines for a fixed duration and report
 // Mop/s. It also defines the per-figure experiment specs used by
-// cmd/flockbench and the repository's benchmarks (see DESIGN.md §4).
+// cmd/flockbench and the repository's benchmarks (see DESIGN.md S8).
 package harness
 
 import (
@@ -20,6 +20,7 @@ import (
 	"flock/internal/baseline/harris"
 	"flock/internal/baseline/natarajan"
 	"flock/internal/baseline/olcart"
+	"flock/internal/kv"
 	"flock/internal/structures/abtree"
 	"flock/internal/structures/arttree"
 	"flock/internal/structures/couplist"
@@ -84,14 +85,34 @@ type Spec struct {
 	// every n-th critical section (flock structures only): the explicit
 	// form of the oversubscription phenomenon (DESIGN.md S3).
 	StallEvery int
+	// YCSB, when nonempty ("a", "b", "c" or "f"), selects the KV path:
+	// the workload runs Get/Put/ReadModifyWrite against a kv.Store of
+	// Shards shards built over Structure, instead of the paper's
+	// insert/delete/find mix against a bare structure.
+	YCSB string
+	// Shards is the kv.Store shard count for the YCSB path (values < 1
+	// mean 1, the unsharded control). Ignored when YCSB is empty.
+	Shards int
 }
 
-// Result is one measured point.
+// Result is one measured point. Hist is the merged per-operation
+// latency histogram (always recorded; log-bucketed, see LatencyHist).
 type Result struct {
 	Ops     uint64
 	Elapsed time.Duration
 	Mops    float64
+	Hist    *LatencyHist
 }
+
+// P50 returns the median per-op latency (0 on an empty histogram).
+func (r Result) P50() time.Duration { return r.Hist.Quantile(0.50) }
+
+// P95 returns the 95th-percentile per-op latency.
+func (r Result) P95() time.Duration { return r.Hist.Quantile(0.95) }
+
+// P99 returns the 99th-percentile tail latency — where the paper's
+// helping-under-oversubscription win shows up for a serving system.
+func (r Result) P99() time.Duration { return r.Hist.Quantile(0.99) }
 
 // NewInstance builds the named structure on a fresh runtime in the
 // requested mode. It returns the runtime for Proc registration.
@@ -138,8 +159,14 @@ func Prefill(s set.Set, rt *flock.Runtime, spec Spec) {
 	wg.Wait()
 }
 
-// RunTimed builds, prefills and measures one spec.
+// RunTimed builds, prefills and measures one spec: the paper's set mix
+// when spec.YCSB is empty, the sharded-KV YCSB path otherwise. Every
+// operation's latency is recorded into a per-worker log-bucketed
+// histogram; the merged histogram rides along in the Result.
 func RunTimed(spec Spec) (Result, error) {
+	if spec.YCSB != "" {
+		return runTimedKV(spec)
+	}
 	s, rt, err := NewInstance(spec)
 	if err != nil {
 		return Result{}, err
@@ -148,35 +175,150 @@ func RunTimed(spec Spec) (Result, error) {
 	// Injection starts only after prefill so setup stays fast.
 	rt.SetStallInjection(spec.StallEvery)
 
-	var stop atomic.Bool
-	var total atomic.Uint64
-	start := make(chan struct{})
+	return measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
+		p := rt.Register()
+		defer p.Unregister()
+		mix := workload.NewMix(spec.KeyRange, spec.UpdatePct, spec.Alpha,
+			spec.HashKeys, spec.Seed+uint64(w)*0x9e3779b9)
+		begin()
+		var n uint64
+		for !stop.Load() {
+			op, k := mix.Next()
+			t0 := time.Now()
+			switch op {
+			case workload.OpInsert:
+				s.Insert(p, k, k)
+			case workload.OpDelete:
+				s.Delete(p, k)
+			default:
+				s.Find(p, k)
+			}
+			hist.Record(time.Since(t0))
+			n++
+		}
+		return n, nil
+	})
+}
+
+// NewKVInstance builds the sharded KV store for a YCSB spec (exported
+// for the root benchmarks, which drive their own worker loops).
+func NewKVInstance(spec Spec) (*kv.Store, error) {
+	f, ok := registry[spec.Structure]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown structure %q (have %v)", spec.Structure, Structures())
+	}
+	if _, err := workload.NewYCSB(spec.YCSB, spec.KeyRange, spec.Alpha, spec.HashKeys, spec.Seed); err != nil {
+		return nil, err
+	}
+	return kv.New(kv.Factory(f), kv.Options{
+		Shards:   spec.Shards,
+		Blocking: spec.Blocking,
+		KeyRange: spec.KeyRange,
+	}), nil
+}
+
+// PrefillKV loads the deterministic half of [1, KeyRange] into the
+// store (same coin and parallel shuffled order as Prefill).
+func PrefillKV(st *kv.Store, spec Spec) {
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers > 8 {
+		workers = 8
+	}
+	perm := workload.NewPermutation(spec.KeyRange, spec.Seed^0x5eed)
 	var wg sync.WaitGroup
-	for w := 0; w < spec.Threads; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			p := rt.Register()
-			defer p.Unregister()
-			mix := workload.NewMix(spec.KeyRange, spec.UpdatePct, spec.Alpha,
-				spec.HashKeys, spec.Seed+uint64(w)*0x9e3779b9)
-			<-start
-			var n uint64
-			for !stop.Load() {
-				op, k := mix.Next()
-				switch op {
-				case workload.OpInsert:
-					s.Insert(p, k, k)
-				case workload.OpDelete:
-					s.Delete(p, k)
-				default:
-					s.Find(p, k)
+			c := st.Register()
+			defer c.Close()
+			for i := uint64(w) + 1; i <= spec.KeyRange; i += uint64(workers) {
+				k := perm.Apply(i)
+				if spec.HashKeys {
+					if hk, in := workload.PrefillKeyHashed(k); in {
+						c.Put(hk, hk)
+					}
+				} else if workload.PrefillKey(k) {
+					c.Put(k, k)
 				}
-				n++
 			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runTimedKV measures one YCSB point against a sharded kv.Store.
+func runTimedKV(spec Spec) (Result, error) {
+	st, err := NewKVInstance(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	PrefillKV(st, spec)
+	st.SetStallInjection(spec.StallEvery)
+
+	return measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
+		c := st.Register()
+		defer c.Close()
+		mix, err := workload.NewYCSB(spec.YCSB, spec.KeyRange, spec.Alpha,
+			spec.HashKeys, spec.Seed+uint64(w)*0x9e3779b9)
+		if err != nil {
+			return 0, err
+		}
+		begin()
+		var n uint64
+		for !stop.Load() {
+			op, k := mix.Next()
+			t0 := time.Now()
+			switch op {
+			case workload.YUpdate:
+				c.Put(k, k+n)
+			case workload.YRMW:
+				c.ReadModifyWrite(k, func(old uint64, _ bool) uint64 { return old + 1 })
+			default:
+				c.Get(k)
+			}
+			hist.Record(time.Since(t0))
+			n++
+		}
+		return n, nil
+	})
+}
+
+// measure runs spec.Threads workers for spec.Duration and aggregates
+// op counts and latency histograms. The worker body must call begin()
+// exactly once, after its per-worker setup (registration, generator
+// construction — including first-use zeta sums, linear in the key
+// range): begin is the start barrier, so setup time is excluded from
+// the measured window. A worker that returns without calling begin
+// (setup error) releases the barrier on its way out.
+func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error)) (Result, error) {
+	var stop atomic.Bool
+	var total atomic.Uint64
+	hists := make([]*LatencyHist, spec.Threads)
+	errs := make([]error, spec.Threads)
+	start := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	for w := 0; w < spec.Threads; w++ {
+		hists[w] = NewLatencyHist()
+		ready.Add(1)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			began := false
+			begin := func() {
+				if !began {
+					began = true
+					ready.Done()
+					<-start
+				}
+			}
+			defer begin()
+			n, err := worker(w, begin, &stop, hists[w])
+			errs[w] = err
 			total.Add(n)
 		}(w)
 	}
+	ready.Wait()
 	t0 := time.Now()
 	close(start)
 	time.Sleep(spec.Duration)
@@ -184,41 +326,74 @@ func RunTimed(spec Spec) (Result, error) {
 	wg.Wait()
 	el := time.Since(t0)
 
+	merged := NewLatencyHist()
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
 	ops := total.Load()
 	return Result{
 		Ops:     ops,
 		Elapsed: el,
 		Mops:    float64(ops) / el.Seconds() / 1e6,
+		Hist:    merged,
 	}, nil
 }
 
-// RunAveraged performs warmup runs followed by measured repetitions,
-// following the paper's methodology (one warmup, average of the rest),
-// and returns the mean and standard deviation of Mop/s.
-func RunAveraged(spec Spec, warmup, repeats int) (mean, std float64, err error) {
+// Stats summarizes repeated runs of one spec: throughput mean and
+// standard deviation, plus latency percentiles from the histograms
+// merged across the measured repetitions.
+type Stats struct {
+	Mops, Std     float64
+	P50, P95, P99 time.Duration
+}
+
+// RunStats performs warmup runs followed by measured repetitions,
+// following the paper's methodology (one warmup, average of the rest).
+func RunStats(spec Spec, warmup, repeats int) (Stats, error) {
 	for i := 0; i < warmup; i++ {
-		if _, err = RunTimed(spec); err != nil {
-			return 0, 0, err
+		if _, err := RunTimed(spec); err != nil {
+			return Stats{}, err
 		}
 	}
 	if repeats < 1 {
 		repeats = 1
 	}
 	vals := make([]float64, 0, repeats)
+	merged := NewLatencyHist()
 	for i := 0; i < repeats; i++ {
 		r, err := RunTimed(spec)
 		if err != nil {
-			return 0, 0, err
+			return Stats{}, err
 		}
 		vals = append(vals, r.Mops)
+		merged.Merge(r.Hist)
 	}
+	var st Stats
 	for _, v := range vals {
-		mean += v
+		st.Mops += v
 	}
-	mean /= float64(len(vals))
+	st.Mops /= float64(len(vals))
 	for _, v := range vals {
-		std += (v - mean) * (v - mean)
+		st.Std += (v - st.Mops) * (v - st.Mops)
 	}
-	std = math.Sqrt(std / float64(len(vals)))
-	return mean, std, nil
+	st.Std = math.Sqrt(st.Std / float64(len(vals)))
+	st.P50 = merged.Quantile(0.50)
+	st.P95 = merged.Quantile(0.95)
+	st.P99 = merged.Quantile(0.99)
+	return st, nil
+}
+
+// RunAveraged is the throughput-only form of RunStats, kept for callers
+// that do not need latency percentiles.
+func RunAveraged(spec Spec, warmup, repeats int) (mean, std float64, err error) {
+	st, err := RunStats(spec, warmup, repeats)
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.Mops, st.Std, nil
 }

@@ -9,6 +9,9 @@ import (
 // every registered structure survives a short mixed workload in both lock
 // modes and reports sane numbers.
 func TestEveryStructureRunsBothModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covers all structures; slow under -race -short")
+	}
 	for _, name := range Structures() {
 		for _, blocking := range []bool{false, true} {
 			spec := Spec{
@@ -40,6 +43,80 @@ func TestUnknownStructureRejected(t *testing.T) {
 	_, err := RunTimed(Spec{Structure: "btree9000", Threads: 1, KeyRange: 8, Duration: time.Millisecond})
 	if err == nil {
 		t.Fatalf("unknown structure accepted")
+	}
+	_, err = RunTimed(Spec{Structure: "btree9000", Threads: 1, KeyRange: 8,
+		Duration: time.Millisecond, YCSB: "a", Shards: 2})
+	if err == nil {
+		t.Fatalf("unknown structure accepted on the KV path")
+	}
+}
+
+func TestUnknownYCSBWorkloadRejected(t *testing.T) {
+	_, err := RunTimed(Spec{Structure: "leaftree", Threads: 1, KeyRange: 8,
+		Duration: time.Millisecond, YCSB: "zz", Shards: 2})
+	if err == nil {
+		t.Fatalf("unknown YCSB workload accepted")
+	}
+}
+
+// TestYCSBKVPath runs a tiny YCSB point end to end: ops complete, the
+// latency histogram is populated, and percentiles are ordered.
+func TestYCSBKVPath(t *testing.T) {
+	for _, ycsb := range []string{"a", "b", "c", "f"} {
+		spec := Spec{
+			Structure: "leaftree", Threads: 4, KeyRange: 256, Alpha: 0.99,
+			Duration: 20 * time.Millisecond, Seed: 5, YCSB: ycsb, Shards: 4,
+		}
+		res, err := RunTimed(spec)
+		if err != nil {
+			t.Fatalf("ycsb-%s: %v", ycsb, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("ycsb-%s: zero ops", ycsb)
+		}
+		if res.Hist.Count() != res.Ops {
+			t.Fatalf("ycsb-%s: %d ops but %d latency samples", ycsb, res.Ops, res.Hist.Count())
+		}
+		p50, p95, p99 := res.P50(), res.P95(), res.P99()
+		if p50 <= 0 || p50 > p95 || p95 > p99 {
+			t.Fatalf("ycsb-%s: disordered percentiles p50=%v p95=%v p99=%v", ycsb, p50, p95, p99)
+		}
+	}
+}
+
+// TestSetPathRecordsLatency checks the paper-mix path fills histograms
+// too (every figure now reports percentiles).
+func TestSetPathRecordsLatency(t *testing.T) {
+	spec := Spec{Structure: "hashtable", Threads: 2, KeyRange: 128,
+		UpdatePct: 50, Duration: 15 * time.Millisecond, Seed: 2}
+	res, err := RunTimed(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hist.Count() != res.Ops || res.P50() <= 0 {
+		t.Fatalf("set path: ops=%d samples=%d p50=%v", res.Ops, res.Hist.Count(), res.P50())
+	}
+}
+
+// TestKVPrefillHalfFull mirrors TestPrefillHalfFull on the KV path.
+func TestKVPrefillHalfFull(t *testing.T) {
+	spec := Spec{Structure: "leaftree", KeyRange: 4096, Threads: 1,
+		Duration: time.Millisecond, YCSB: "a", Shards: 4}
+	st, err := NewKVInstance(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrefillKV(st, spec)
+	c := st.Register()
+	defer c.Close()
+	n := 0
+	for k := uint64(1); k <= spec.KeyRange; k++ {
+		if _, ok := c.Get(k); ok {
+			n++
+		}
+	}
+	if n < 4096*45/100 || n > 4096*55/100 {
+		t.Fatalf("KV prefill filled %d of 4096, want ~half", n)
 	}
 }
 
@@ -83,7 +160,8 @@ func TestRunAveragedStats(t *testing.T) {
 func TestFigureIndexComplete(t *testing.T) {
 	figs := Figures()
 	want := []string{"fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
-		"fig5f", "fig5g", "fig5h", "fig6a", "fig6b", "fig7a", "fig7b", "ext-stall"}
+		"fig5f", "fig5g", "fig5h", "fig6a", "fig6b", "fig7a", "fig7b", "ext-stall",
+		"ext-ycsb-a", "ext-ycsb-b", "ext-ycsb-c", "ext-ycsb-f", "ext-ycsb-shards"}
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures, want %d", len(figs), len(want))
 	}
@@ -140,6 +218,9 @@ func TestRunFigureSmoke(t *testing.T) {
 // the blocking mode on the same structure, because helpers complete the
 // stalled critical sections instead of stranding behind them.
 func TestOversubscriptionHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive comparison; skipped under -short")
+	}
 	mk := func(blocking bool) Spec {
 		return Spec{
 			Structure:  "leaftree",

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Latency histogram parameters: 8 sub-buckets per power-of-two octave
+// (HDR-histogram style), so the relative quantization error is at most
+// 1/8 = 12.5% anywhere on the range, with a fixed 512-counter footprint
+// covering 1ns .. ~5 centuries.
+const (
+	latSubBits = 3 // log2(sub-buckets per octave)
+	latSub     = 1 << latSubBits
+	latBuckets = (64-latSubBits)*latSub + latSub
+)
+
+// LatencyHist is a log-bucketed latency histogram. It is not
+// synchronized: each worker records into its own histogram and the
+// harness merges them afterwards.
+type LatencyHist struct {
+	counts [latBuckets]uint64
+	total  uint64
+}
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
+
+// latIndex maps a nanosecond count to its bucket.
+func latIndex(ns uint64) int {
+	if ns < latSub {
+		return int(ns)
+	}
+	o := bits.Len64(ns) - 1 // octave: o >= latSubBits
+	return (o-latSubBits+1)*latSub + int((ns>>(o-latSubBits))&(latSub-1))
+}
+
+// latLower is the inverse of latIndex: the smallest nanosecond value in
+// bucket i.
+func latLower(i int) uint64 {
+	if i < latSub {
+		return uint64(i)
+	}
+	o := i/latSub + latSubBits - 1
+	return 1<<o | uint64(i%latSub)<<(o-latSubBits)
+}
+
+// Record adds one observation.
+func (h *LatencyHist) Record(d time.Duration) {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	h.counts[latIndex(ns)]++
+	h.total++
+}
+
+// Merge adds o's counts into h.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// Count returns the number of recorded observations.
+func (h *LatencyHist) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Quantile returns the latency at quantile q in [0, 1] (the lower bound
+// of the bucket holding the q-th observation, so the value is never
+// overstated). It returns 0 on an empty or nil histogram.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total-1))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if c != 0 && cum > rank {
+			return time.Duration(latLower(i))
+		}
+	}
+	return time.Duration(latLower(latBuckets - 1))
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLatencyBucketRoundTrip(t *testing.T) {
+	// latLower must be the smallest value mapping to its bucket, and
+	// buckets must tile the range without gaps or overlaps.
+	for i := 0; i < latBuckets; i++ {
+		lo := latLower(i)
+		if latIndex(lo) != i {
+			t.Fatalf("bucket %d: latIndex(latLower)=%d", i, latIndex(lo))
+		}
+		if lo > 0 && latIndex(lo-1) != i-1 {
+			t.Fatalf("bucket %d: predecessor of lower bound maps to %d, want %d",
+				i, latIndex(lo-1), i-1)
+		}
+	}
+	if latIndex(^uint64(0)) != latBuckets-1 {
+		t.Fatalf("max value maps to %d, want last bucket %d", latIndex(^uint64(0)), latBuckets-1)
+	}
+}
+
+func TestLatencyRelativeError(t *testing.T) {
+	// Quantization error is bounded by one sub-bucket: 12.5%.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		ns := uint64(rng.Int63())
+		lo := latLower(latIndex(ns))
+		if lo > ns {
+			t.Fatalf("lower bound %d above value %d", lo, ns)
+		}
+		if ns >= 8 && float64(ns-lo) > float64(ns)*0.125 {
+			t.Fatalf("value %d quantized to %d: error > 12.5%%", ns, lo)
+		}
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile nonzero")
+	}
+	// 1..1000 µs uniformly: p50 ~ 500µs, p99 ~ 990µs (within bucket
+	// quantization of 12.5%).
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	check := func(q float64, want time.Duration) {
+		got := h.Quantile(q)
+		lo := time.Duration(float64(want) * 0.85)
+		if got < lo || got > want {
+			t.Fatalf("q%.2f = %v, want in [%v, %v]", q, got, lo, want)
+		}
+	}
+	check(0.50, 500*time.Microsecond)
+	check(0.95, 950*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+	if h.Quantile(0) > time.Microsecond {
+		t.Fatalf("q0 = %v, want ~1µs", h.Quantile(0))
+	}
+	if h.Quantile(1) < 870*time.Microsecond {
+		t.Fatalf("q1 = %v, want ~1000µs", h.Quantile(1))
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	a, b := NewLatencyHist(), NewLatencyHist()
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+		b.Record(time.Second)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Count() != 200 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if p := a.Quantile(0.25); p > 2*time.Millisecond {
+		t.Fatalf("p25 after merge %v, want ~1ms", p)
+	}
+	if p := a.Quantile(0.75); p < 800*time.Millisecond {
+		t.Fatalf("p75 after merge %v, want ~1s", p)
+	}
+}

@@ -1,0 +1,285 @@
+// Package kv is a sharded concurrent key-value store composed from the
+// repository's set structures: N shards, each with its own
+// flock.Runtime and structure instance, with keys routed to shards by
+// a salted workload.Hash64. It is the first layer of the serving architecture
+// the ROADMAP calls for (DESIGN.md S9): sharding multiplies the
+// single-structure throughput the paper measures, and the per-shard
+// runtimes keep epoch reclamation and helping traffic local.
+//
+// The store exposes Get, Put (upsert), Delete and ReadModifyWrite plus
+// batch variants. Put and ReadModifyWrite are atomic — one
+// linearization point, no transient absent window — when the underlying
+// structure implements set.Upserter (leaftree and hashtable do); for
+// other structures they fall back to delete-then-insert, which is
+// documented as non-atomic under contention (NativeUpsert reports which
+// regime a store is in).
+package kv
+
+import (
+	"sync/atomic"
+
+	flock "flock/internal/core"
+	"flock/internal/structures/set"
+	"flock/internal/workload"
+)
+
+// Factory builds one shard's structure instance, sized for that shard's
+// expected key count. It has the same shape as the harness registry's
+// factories.
+type Factory func(rt *flock.Runtime, keyRange uint64) set.Set
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the shard count; values < 1 mean 1 (unsharded).
+	Shards int
+	// Blocking selects the lock mode of every shard's runtime.
+	Blocking bool
+	// KeyRange is a sizing hint: the expected total number of distinct
+	// keys, split evenly across shards when sizing each structure
+	// (hashtable bucket arrays, for example). 0 defaults to 1<<16.
+	KeyRange uint64
+}
+
+// shard is one partition: a private runtime plus a structure bound to it.
+type shard struct {
+	rt *flock.Runtime
+	s  set.Set
+	up set.Upserter // nil when s has no native upsert
+}
+
+// Store is a sharded concurrent KV store. Create clients with Register;
+// all data-path methods live on Client.
+type Store struct {
+	shards []shard
+	native bool
+	// clients counts live handles (monitoring/tests only).
+	clients atomic.Int64
+}
+
+// New builds a store whose shards each hold a fresh structure from f.
+func New(f Factory, opt Options) *Store {
+	n := opt.Shards
+	if n < 1 {
+		n = 1
+	}
+	kr := opt.KeyRange
+	if kr == 0 {
+		kr = 1 << 16
+	}
+	perShard := kr/uint64(n) + 1
+	st := &Store{shards: make([]shard, n), native: true}
+	for i := range st.shards {
+		rt := flock.New()
+		rt.SetBlocking(opt.Blocking)
+		s := f(rt, perShard)
+		up, _ := s.(set.Upserter)
+		if up == nil {
+			st.native = false
+		}
+		st.shards[i] = shard{rt: rt, s: s, up: up}
+	}
+	return st
+}
+
+// NumShards returns the shard count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// NativeUpsert reports whether every shard supports atomic in-thunk
+// upserts (set.Upserter). When false, Put and ReadModifyWrite use the
+// non-atomic delete-then-insert fallback.
+func (st *Store) NativeUpsert() bool { return st.native }
+
+// SetStallInjection forwards deschedule injection to every shard's
+// runtime (see flock.Runtime.SetStallInjection).
+func (st *Store) SetStallInjection(n int) {
+	for i := range st.shards {
+		st.shards[i].rt.SetStallInjection(n)
+	}
+}
+
+// shardSalt decorrelates shard routing from the structures' own key
+// hashing: hashtable buckets index by the *same* splitmix64 finalizer,
+// so routing on bare Hash64(k) with a power-of-two shard count would
+// pin the low bits of every in-shard bucket index and leave (shards-1)/
+// shards of each shard's buckets unreachable.
+const shardSalt = 0xd1b54a32d192ed03
+
+// ShardOf returns the shard index key k routes to: a stateless salted
+// hash, so every client agrees, the mapping survives restarts, and the
+// routing bits are independent of any structure-internal hash of k.
+func (st *Store) ShardOf(k uint64) int {
+	return int(workload.Hash64(k^shardSalt) % uint64(len(st.shards)))
+}
+
+// Client is one goroutine's handle on the store: it holds a registered
+// Proc per shard. A Client must only be used by one goroutine at a time;
+// Close releases its epoch slots.
+type Client struct {
+	st    *Store
+	procs []*flock.Proc
+}
+
+// Register creates a client, registering a worker context with every
+// shard's runtime.
+func (st *Store) Register() *Client {
+	c := &Client{st: st, procs: make([]*flock.Proc, len(st.shards))}
+	for i := range st.shards {
+		c.procs[i] = st.shards[i].rt.Register()
+	}
+	st.clients.Add(1)
+	return c
+}
+
+// Close unregisters the client from every shard.
+func (c *Client) Close() {
+	for _, p := range c.procs {
+		p.Unregister()
+	}
+	c.st.clients.Add(-1)
+}
+
+// route returns the shard and Proc for k.
+func (c *Client) route(k uint64) (*shard, *flock.Proc) {
+	i := c.st.ShardOf(k)
+	return &c.st.shards[i], c.procs[i]
+}
+
+// Get returns the value stored under k, if present.
+func (c *Client) Get(k uint64) (uint64, bool) {
+	sh, p := c.route(k)
+	return sh.s.Find(p, k)
+}
+
+// put is the shared upsert path: native single-critical-section upsert
+// when available, otherwise delete-then-insert. The fallback has a
+// transient absent window under contention and its "newly inserted" bit
+// is only a best-effort observation.
+func put(sh *shard, p *flock.Proc, k, v uint64) (inserted bool) {
+	if sh.up != nil {
+		_, present := sh.up.Upsert(p, k, func(uint64, bool) uint64 { return v })
+		return !present
+	}
+	replaced := false
+	for {
+		if sh.s.Insert(p, k, v) {
+			return !replaced
+		}
+		replaced = true
+		sh.s.Delete(p, k)
+	}
+}
+
+// Put upserts (k, v) and reports whether k was newly inserted (false
+// means an existing value was replaced).
+func (c *Client) Put(k, v uint64) bool {
+	sh, p := c.route(k)
+	return put(sh, p, k, v)
+}
+
+// Delete removes k and reports whether it was present.
+func (c *Client) Delete(k uint64) bool {
+	sh, p := c.route(k)
+	return sh.s.Delete(p, k)
+}
+
+// ReadModifyWrite atomically replaces k's value with f(old, present)
+// (inserting if absent) and returns the previous value and presence.
+// f must be pure: with a native upserter it may run inside a critical
+// section that helpers re-execute. Without native upsert the
+// read-compute-write sequence is not atomic under contention on k.
+func (c *Client) ReadModifyWrite(k uint64, f func(old uint64, present bool) uint64) (uint64, bool) {
+	sh, p := c.route(k)
+	if sh.up != nil {
+		return sh.up.Upsert(p, k, f)
+	}
+	for {
+		old, ok := sh.s.Find(p, k)
+		nv := f(old, ok)
+		if !ok {
+			if sh.s.Insert(p, k, nv) {
+				return 0, false
+			}
+			continue // lost an insert race; re-read
+		}
+		if sh.s.Delete(p, k) {
+			for !sh.s.Insert(p, k, nv) {
+				sh.s.Delete(p, k)
+			}
+			return old, true
+		}
+		// Someone else deleted first; re-read.
+	}
+}
+
+// byShard visits keys grouped by shard (all of shard 0's keys, then
+// shard 1's, ...) so each shard's structure is walked consecutively.
+// visit receives the original index of each key.
+func (c *Client) byShard(keys []uint64, visit func(i int, sh *shard, p *flock.Proc)) {
+	n := len(c.st.shards)
+	if n == 1 {
+		sh, p := &c.st.shards[0], c.procs[0]
+		for i := range keys {
+			visit(i, sh, p)
+		}
+		return
+	}
+	// Two-pass counting sort of key indices by shard.
+	counts := make([]int, n+1)
+	shardOf := make([]int, len(keys))
+	for i, k := range keys {
+		s := c.st.ShardOf(k)
+		shardOf[i] = s
+		counts[s+1]++
+	}
+	for s := 0; s < n; s++ {
+		counts[s+1] += counts[s]
+	}
+	order := make([]int, len(keys))
+	next := counts
+	for i := range keys {
+		s := shardOf[i]
+		order[next[s]] = i
+		next[s]++
+	}
+	for _, i := range order {
+		s := shardOf[i]
+		visit(i, &c.st.shards[s], c.procs[s])
+	}
+}
+
+// GetBatch looks up every key, filling vals and oks (which it returns;
+// both are freshly allocated, len(keys) each).
+func (c *Client) GetBatch(keys []uint64) (vals []uint64, oks []bool) {
+	vals = make([]uint64, len(keys))
+	oks = make([]bool, len(keys))
+	c.byShard(keys, func(i int, sh *shard, p *flock.Proc) {
+		vals[i], oks[i] = sh.s.Find(p, keys[i])
+	})
+	return vals, oks
+}
+
+// PutBatch upserts keys[i] -> vals[i] for every i (len(vals) must equal
+// len(keys)) and returns how many keys were newly inserted.
+func (c *Client) PutBatch(keys, vals []uint64) int {
+	if len(keys) != len(vals) {
+		panic("kv: PutBatch length mismatch")
+	}
+	inserted := 0
+	c.byShard(keys, func(i int, sh *shard, p *flock.Proc) {
+		if put(sh, p, keys[i], vals[i]) {
+			inserted++
+		}
+	})
+	return inserted
+}
+
+// DeleteBatch removes every key and returns how many were present.
+func (c *Client) DeleteBatch(keys []uint64) int {
+	deleted := 0
+	c.byShard(keys, func(i int, sh *shard, p *flock.Proc) {
+		if sh.s.Delete(p, keys[i]) {
+			deleted++
+		}
+	})
+	return deleted
+}

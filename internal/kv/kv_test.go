@@ -1,0 +1,146 @@
+package kv_test
+
+import (
+	"testing"
+
+	flock "flock/internal/core"
+	"flock/internal/kv"
+	"flock/internal/kv/kvtest"
+	"flock/internal/structures/hashtable"
+	"flock/internal/structures/lazylist"
+	"flock/internal/structures/leaftree"
+	"flock/internal/structures/set"
+	"flock/internal/workload"
+)
+
+func leaftreeFactory(rt *flock.Runtime, _ uint64) set.Set  { return leaftree.New(rt) }
+func hashtableFactory(rt *flock.Runtime, r uint64) set.Set { return hashtable.New(rt, int(r)) }
+func lazylistFactory(rt *flock.Runtime, _ uint64) set.Set  { return lazylist.New(rt) }
+
+// The two native-upsert structures get the full conformance suite,
+// including the atomicity-dependent passes.
+func TestConformanceLeaftree(t *testing.T)  { kvtest.Run(t, leaftreeFactory) }
+func TestConformanceHashtable(t *testing.T) { kvtest.Run(t, hashtableFactory) }
+
+// lazylist has no native upsert: it exercises the delete-then-insert
+// fallback (the suite automatically skips the atomicity passes).
+func TestConformanceLazylistFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lazylist fallback conformance is slow (O(n) lists); covered by the full run")
+	}
+	kvtest.Run(t, lazylistFactory)
+}
+
+func TestNativeUpsertDetection(t *testing.T) {
+	if !kv.New(leaftreeFactory, kv.Options{Shards: 2}).NativeUpsert() {
+		t.Fatalf("leaftree store should report native upsert")
+	}
+	if !kv.New(hashtableFactory, kv.Options{Shards: 2}).NativeUpsert() {
+		t.Fatalf("hashtable store should report native upsert")
+	}
+	if kv.New(lazylistFactory, kv.Options{Shards: 2}).NativeUpsert() {
+		t.Fatalf("lazylist store should report fallback upsert")
+	}
+}
+
+func TestShardRouting(t *testing.T) {
+	st := kv.New(leaftreeFactory, kv.Options{Shards: 8, KeyRange: 1024})
+	if st.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want 8", st.NumShards())
+	}
+	counts := make([]int, 8)
+	for k := uint64(1); k <= 4096; k++ {
+		s := st.ShardOf(k)
+		if s < 0 || s >= 8 {
+			t.Fatalf("key %d routed to out-of-range shard %d", k, s)
+		}
+		if s != st.ShardOf(k) {
+			t.Fatalf("routing not deterministic for key %d", k)
+		}
+		counts[s]++
+	}
+	// Hash routing must spread keys roughly evenly (512 expected).
+	for s, n := range counts {
+		if n < 350 || n > 700 {
+			t.Fatalf("shard %d holds %d of 4096 keys; routing badly skewed", s, n)
+		}
+	}
+}
+
+// TestShardRoutingDecorrelatedFromKeyHash guards the bucket-starvation
+// trap: hashtable buckets index by Hash64(k) & mask, so if routing used
+// the same unsalted hash, all keys in one shard would share their low
+// Hash64 bits and reach only 1/shards of each shard's buckets.
+func TestShardRoutingDecorrelatedFromKeyHash(t *testing.T) {
+	st := kv.New(hashtableFactory, kv.Options{Shards: 8, KeyRange: 4096})
+	const lowBits = 6 // well within any per-shard bucket mask
+	seen := map[uint64]bool{}
+	for k := uint64(1); k <= 8192; k++ {
+		if st.ShardOf(k) == 0 {
+			seen[workload.Hash64(k)&(1<<lowBits-1)] = true
+		}
+	}
+	// Keys routed to one shard must still cover (essentially) all low
+	// bucket-hash bit patterns.
+	if len(seen) < 60 {
+		t.Fatalf("shard 0's keys cover only %d/64 low bucket-hash patterns; routing correlated with key hash", len(seen))
+	}
+}
+
+func TestShardsDefaultToOne(t *testing.T) {
+	for _, shards := range []int{0, -3} {
+		st := kv.New(leaftreeFactory, kv.Options{Shards: shards})
+		if st.NumShards() != 1 {
+			t.Fatalf("Shards=%d built %d shards, want 1", shards, st.NumShards())
+		}
+	}
+}
+
+// TestUnshardedControlAgrees runs the same deterministic script against
+// an 8-shard store and the unsharded control; both must produce
+// identical answers for every operation.
+func TestUnshardedControlAgrees(t *testing.T) {
+	a := kv.New(leaftreeFactory, kv.Options{Shards: 8, KeyRange: 512}).Register()
+	b := kv.New(leaftreeFactory, kv.Options{Shards: 1, KeyRange: 512}).Register()
+	defer a.Close()
+	defer b.Close()
+	rng := workload.NewSplitMix64(5)
+	for i := 0; i < 3000; i++ {
+		k := rng.Next()%256 + 1
+		switch rng.Next() % 4 {
+		case 0:
+			v := rng.Next()
+			if x, y := a.Put(k, v), b.Put(k, v); x != y {
+				t.Fatalf("op %d: Put(%d) sharded=%v unsharded=%v", i, k, x, y)
+			}
+		case 1:
+			if x, y := a.Delete(k), b.Delete(k); x != y {
+				t.Fatalf("op %d: Delete(%d) sharded=%v unsharded=%v", i, k, x, y)
+			}
+		case 2:
+			av, aok := a.Get(k)
+			bv, bok := b.Get(k)
+			if av != bv || aok != bok {
+				t.Fatalf("op %d: Get(%d) sharded=(%d,%v) unsharded=(%d,%v)", i, k, av, aok, bv, bok)
+			}
+		case 3:
+			f := func(o uint64, _ bool) uint64 { return o*3 + 1 }
+			ao, ap := a.ReadModifyWrite(k, f)
+			bo, bp := b.ReadModifyWrite(k, f)
+			if ao != bo || ap != bp {
+				t.Fatalf("op %d: RMW(%d) sharded=(%d,%v) unsharded=(%d,%v)", i, k, ao, ap, bo, bp)
+			}
+		}
+	}
+}
+
+func TestPutBatchLengthMismatchPanics(t *testing.T) {
+	c := kv.New(leaftreeFactory, kv.Options{Shards: 2}).Register()
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("PutBatch with mismatched lengths did not panic")
+		}
+	}()
+	c.PutBatch([]uint64{1, 2}, []uint64{1})
+}

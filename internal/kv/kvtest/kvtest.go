@@ -1,0 +1,496 @@
+// Package kvtest is the conformance suite for kv.Store, mirroring what
+// settest does for the set structures: the KV layer is verified the
+// same way as the structures it composes.
+//
+// The suite covers:
+//   - sequential differential testing of all four operations against a
+//     map model,
+//   - concurrent differential testing against a mutex-guarded map
+//     (workers own disjoint key partitions, so per-key comparisons are
+//     exact while sharding, routing and structural interference are
+//     fully concurrent),
+//   - batch-variant differential testing,
+//   - contended set-algebra and lost-update (RMW counter) checks,
+//     which require atomic upserts and therefore run only on stores
+//     with native upsert support,
+//   - linearizability of recorded Get/Put/Delete/ReadModifyWrite
+//     histories (native upsert only: the fallback's delete-then-insert
+//     window is documented as non-atomic),
+//   - an oversubscribed pass (workers >> GOMAXPROCS) with deschedule
+//     injection in lock-free mode.
+package kvtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flock/internal/kv"
+	"flock/internal/lincheck"
+)
+
+// Modes lists the lock modes the suite exercises.
+var Modes = []struct {
+	Name     string
+	Blocking bool
+}{
+	{"lockfree", false},
+	{"blocking", true},
+}
+
+// Run executes the full suite against the factory, across lock modes
+// and shard counts (including the unsharded control).
+func Run(t *testing.T, f kv.Factory) {
+	t.Helper()
+	for _, m := range Modes {
+		for _, shards := range []int{1, 4} {
+			name := fmt.Sprintf("%s/shards=%d", m.Name, shards)
+			opt := kv.Options{Shards: shards, Blocking: m.Blocking, KeyRange: 4096}
+			t.Run(name, func(t *testing.T) {
+				t.Run("SequentialModel", func(t *testing.T) { sequentialModel(t, f, opt) })
+				t.Run("MutexMapDifferential", func(t *testing.T) { mutexMapDifferential(t, f, opt) })
+				t.Run("Batches", func(t *testing.T) { batches(t, f, opt) })
+				t.Run("Oversubscribed", func(t *testing.T) { oversubscribed(t, f, opt) })
+				native := kv.New(f, opt).NativeUpsert()
+				if native {
+					t.Run("ContendedAlgebra", func(t *testing.T) { contendedAlgebra(t, f, opt) })
+					t.Run("RMWCounter", func(t *testing.T) { rmwCounter(t, f, opt) })
+					t.Run("Linearizable", func(t *testing.T) { linearizable(t, f, opt, 0) })
+					if !m.Blocking {
+						t.Run("LinearizableWithStalls", func(t *testing.T) { linearizable(t, f, opt, 25) })
+					}
+				}
+			})
+		}
+	}
+}
+
+// sequentialModel drives one client through a scripted mix of all four
+// operations and compares every return value against a map.
+func sequentialModel(t *testing.T, f kv.Factory, opt kv.Options) {
+	st := kv.New(f, opt)
+	c := st.Register()
+	defer c.Close()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(23))
+
+	const ops = 4000
+	const keySpace = 300
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Intn(keySpace) + 1)
+		switch rng.Intn(4) {
+		case 0:
+			v := rng.Uint64()
+			_, had := model[k]
+			if ins := c.Put(k, v); ins == had {
+				t.Fatalf("op %d: Put(%d) inserted=%v, model had=%v", i, k, ins, had)
+			}
+			model[k] = v
+		case 1:
+			_, had := model[k]
+			if got := c.Delete(k); got != had {
+				t.Fatalf("op %d: Delete(%d)=%v, model had=%v", i, k, got, had)
+			}
+			delete(model, k)
+		case 2:
+			want, had := model[k]
+			v, got := c.Get(k)
+			if got != had || (had && v != want) {
+				t.Fatalf("op %d: Get(%d)=(%d,%v), model (%d,%v)", i, k, v, got, want, had)
+			}
+		case 3:
+			delta := rng.Uint64()%1000 + 1
+			want, had := model[k]
+			old, present := c.ReadModifyWrite(k, func(o uint64, _ bool) uint64 { return o + delta })
+			if present != had || (had && old != want) {
+				t.Fatalf("op %d: RMW(%d)=(%d,%v), model (%d,%v)", i, k, old, present, want, had)
+			}
+			model[k] = want + delta
+		}
+	}
+	for k := uint64(1); k <= keySpace; k++ {
+		want, had := model[k]
+		v, got := c.Get(k)
+		if got != had || (had && v != want) {
+			t.Fatalf("final sweep: Get(%d)=(%d,%v), model (%d,%v)", k, v, got, want, had)
+		}
+	}
+}
+
+// mutexMapDifferential runs concurrent workers over disjoint key
+// partitions against a single mutex-guarded map: each key is touched by
+// one worker only, so store and model answers must agree exactly, while
+// the store still sees fully concurrent traffic on every shard.
+func mutexMapDifferential(t *testing.T, f kv.Factory, opt kv.Options) {
+	st := kv.New(f, opt)
+	const workers = 8
+	const keysPer = 100
+	const ops = 500
+
+	var mu sync.Mutex
+	model := map[uint64]uint64{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := st.Register()
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)*601 + 13))
+			key := func(i int) uint64 { return uint64(w + 1 + i*workers) }
+			for i := 0; i < ops; i++ {
+				k := key(rng.Intn(keysPer))
+				switch rng.Intn(4) {
+				case 0:
+					v := rng.Uint64()
+					mu.Lock()
+					_, had := model[k]
+					model[k] = v
+					mu.Unlock()
+					if ins := c.Put(k, v); ins == had {
+						t.Errorf("w%d: Put(%d) inserted=%v, model had=%v", w, k, ins, had)
+						return
+					}
+				case 1:
+					mu.Lock()
+					_, had := model[k]
+					delete(model, k)
+					mu.Unlock()
+					if got := c.Delete(k); got != had {
+						t.Errorf("w%d: Delete(%d)=%v, model had=%v", w, k, got, had)
+						return
+					}
+				case 2:
+					mu.Lock()
+					want, had := model[k]
+					mu.Unlock()
+					v, got := c.Get(k)
+					if got != had || (had && v != want) {
+						t.Errorf("w%d: Get(%d)=(%d,%v), model (%d,%v)", w, k, v, got, want, had)
+						return
+					}
+				case 3:
+					delta := rng.Uint64()%999 + 1
+					mu.Lock()
+					want, had := model[k]
+					model[k] = want + delta
+					mu.Unlock()
+					old, present := c.ReadModifyWrite(k, func(o uint64, _ bool) uint64 { return o + delta })
+					if present != had || (had && old != want) {
+						t.Errorf("w%d: RMW(%d)=(%d,%v), model (%d,%v)", w, k, old, present, want, had)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	c := st.Register()
+	defer c.Close()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < keysPer; i++ {
+			k := uint64(w + 1 + i*workers)
+			want, had := model[k]
+			v, got := c.Get(k)
+			if got != had || (had && v != want) {
+				t.Fatalf("final: key %d = (%d,%v), want (%d,%v)", k, v, got, want, had)
+			}
+		}
+	}
+}
+
+// batches checks the batch variants against a map, with keys scattered
+// across shards and some duplicates within a batch (later entries win).
+func batches(t *testing.T, f kv.Factory, opt kv.Options) {
+	st := kv.New(f, opt)
+	c := st.Register()
+	defer c.Close()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(77))
+
+	for round := 0; round < 20; round++ {
+		n := rng.Intn(40) + 1
+		keys := make([]uint64, n)
+		vals := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(200) + 1)
+			vals[i] = rng.Uint64()
+		}
+
+		wantIns := 0
+		seen := map[uint64]bool{}
+		// Batches visit keys shard-grouped, not in slice order, so with
+		// in-batch duplicates only the per-key counts are deterministic:
+		// a key is "newly inserted" at most once per batch.
+		for _, k := range keys {
+			if _, had := model[k]; !had && !seen[k] {
+				wantIns++
+			}
+			seen[k] = true
+		}
+		gotIns := c.PutBatch(keys, vals)
+		if gotIns != wantIns {
+			t.Fatalf("round %d: PutBatch inserted %d, want %d", round, gotIns, wantIns)
+		}
+		// The surviving value per key is whichever duplicate the batch
+		// applied last; read it back from the store and require it to be
+		// one of that key's batch values, then sync the model to it.
+		for _, k := range keys {
+			v, ok := c.Get(k)
+			if !ok {
+				t.Fatalf("round %d: key %d missing after PutBatch", round, k)
+			}
+			legal := false
+			for j, kk := range keys {
+				if kk == k && vals[j] == v {
+					legal = true
+					break
+				}
+			}
+			if !legal {
+				t.Fatalf("round %d: key %d holds %d, not a batch value", round, k, v)
+			}
+			model[k] = v
+		}
+
+		getKeys := make([]uint64, 30)
+		for i := range getKeys {
+			getKeys[i] = uint64(rng.Intn(300) + 1)
+		}
+		gv, gok := c.GetBatch(getKeys)
+		for i, k := range getKeys {
+			want, had := model[k]
+			if gok[i] != had || (had && gv[i] != want) {
+				t.Fatalf("round %d: GetBatch[%d] key %d = (%d,%v), want (%d,%v)",
+					round, i, k, gv[i], gok[i], want, had)
+			}
+		}
+
+		delKeys := make([]uint64, 15)
+		wantDel := 0
+		seenDel := map[uint64]bool{}
+		for i := range delKeys {
+			k := uint64(rng.Intn(250) + 1)
+			delKeys[i] = k
+			if _, had := model[k]; had && !seenDel[k] {
+				wantDel++
+			}
+			seenDel[k] = true
+			delete(model, k)
+		}
+		if gotDel := c.DeleteBatch(delKeys); gotDel != wantDel {
+			t.Fatalf("round %d: DeleteBatch removed %d, want %d", round, gotDel, wantDel)
+		}
+	}
+}
+
+// contendedAlgebra hammers a small hot range with Put/Delete from many
+// workers and checks set algebra: per key, newly-inserting puts minus
+// successful deletes must equal final presence (0 or 1). This requires
+// atomic upserts — the fallback's delete-then-insert window breaks the
+// accounting — so it runs only on native-upsert stores.
+func contendedAlgebra(t *testing.T, f kv.Factory, opt kv.Options) {
+	st := kv.New(f, opt)
+	const workers = 8
+	const hotKeys = 10
+	const ops = 1200
+
+	type tally struct{ ins, del [hotKeys + 1]int64 }
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := st.Register()
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)*457 + 9))
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.Intn(hotKeys) + 1)
+				switch rng.Intn(3) {
+				case 0:
+					if c.Put(k, uint64(w)+1) {
+						tallies[w].ins[k]++
+					}
+				case 1:
+					if c.Delete(k) {
+						tallies[w].del[k]++
+					}
+				case 2:
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	c := st.Register()
+	defer c.Close()
+	for k := uint64(1); k <= hotKeys; k++ {
+		var ins, del int64
+		for w := 0; w < workers; w++ {
+			ins += tallies[w].ins[k]
+			del += tallies[w].del[k]
+		}
+		diff := ins - del
+		_, present := c.Get(k)
+		if diff != 0 && diff != 1 {
+			t.Fatalf("key %d: ins=%d del=%d (diff %d)", k, ins, del, diff)
+		}
+		if (diff == 1) != present {
+			t.Fatalf("key %d: diff=%d but present=%v", k, diff, present)
+		}
+	}
+}
+
+// rmwCounter is the lost-update test: all workers increment a few hot
+// keys through ReadModifyWrite; with atomic upserts the final sums must
+// equal the exact number of increments.
+func rmwCounter(t *testing.T, f kv.Factory, opt kv.Options) {
+	st := kv.New(f, opt)
+	const workers = 8
+	const keys = 4
+	const ops = 600
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := st.Register()
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)*911 + 2))
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				c.ReadModifyWrite(k, func(o uint64, _ bool) uint64 { return o + 1 })
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := st.Register()
+	defer c.Close()
+	var total uint64
+	for k := uint64(1); k <= keys; k++ {
+		v, ok := c.Get(k)
+		if !ok {
+			t.Fatalf("hot key %d absent after increments", k)
+		}
+		total += v
+	}
+	if total != workers*ops {
+		t.Fatalf("lost updates: %d increments survived, want %d", total, workers*ops)
+	}
+}
+
+// linearizable records a contended multi-worker Get/Put/Delete/RMW
+// history and verifies a legal sequential witness exists. stallEvery > 0
+// additionally injects descheduling inside critical sections so most
+// operations complete via helping.
+func linearizable(t *testing.T, f kv.Factory, opt kv.Options, stallEvery int) {
+	st := kv.New(f, opt)
+	st.SetStallInjection(stallEvery)
+	const workers = 6
+	const keys = 4
+	opsPer := 200
+	if stallEvery > 0 {
+		opsPer = 80
+	}
+
+	var clock atomic.Int64
+	hists := make([][]lincheck.Op, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := st.Register()
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)*1777 + 7))
+			rec := func(op lincheck.Op) { hists[w] = append(hists[w], op) }
+			for i := 0; i < opsPer; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				switch rng.Intn(4) {
+				case 0:
+					v := uint64(w)*100000 + uint64(i)
+					s := clock.Add(1)
+					ins := c.Put(k, v)
+					e := clock.Add(1)
+					rec(lincheck.Op{Kind: lincheck.KPut, Key: k, Arg: v, Ok: !ins, Start: s, End: e, Worker: w})
+				case 1:
+					s := clock.Add(1)
+					ok := c.Delete(k)
+					e := clock.Add(1)
+					rec(lincheck.Op{Kind: lincheck.KDelete, Key: k, Ok: ok, Start: s, End: e, Worker: w})
+				case 2:
+					delta := uint64(w)*100000 + 50000 + uint64(i)
+					s := clock.Add(1)
+					old, present := c.ReadModifyWrite(k, func(o uint64, _ bool) uint64 { return o + delta })
+					e := clock.Add(1)
+					rec(lincheck.Op{Kind: lincheck.KUpsert, Key: k, Arg: old + delta, Ok: present, Val: old, Start: s, End: e, Worker: w})
+				default:
+					s := clock.Add(1)
+					v, ok := c.Get(k)
+					e := clock.Add(1)
+					rec(lincheck.Op{Kind: lincheck.KFind, Key: k, Ok: ok, Val: v, Start: s, End: e, Worker: w})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []lincheck.Op
+	for _, h := range hists {
+		all = append(all, h...)
+	}
+	if res := lincheck.Check(all); !res.Ok {
+		t.Fatalf("history of %d ops: %v", len(all), res)
+	}
+}
+
+// oversubscribed runs many more clients than GOMAXPROCS over disjoint
+// key partitions (RMW counters per key, so the final state is exact for
+// fallback stores too), with deschedule injection in lock-free mode.
+func oversubscribed(t *testing.T, f kv.Factory, opt kv.Options) {
+	st := kv.New(f, opt)
+	if !opt.Blocking {
+		st.SetStallInjection(50)
+	}
+	const workers = 24
+	const keysPer = 6
+	const ops = 300
+
+	counts := make([]map[uint64]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := st.Register()
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)*37 + 5))
+			mine := map[uint64]uint64{}
+			key := func(i int) uint64 { return uint64(w + 1 + i*workers) }
+			for i := 0; i < ops; i++ {
+				k := key(rng.Intn(keysPer))
+				c.ReadModifyWrite(k, func(o uint64, _ bool) uint64 { return o + 1 })
+				mine[k]++
+			}
+			counts[w] = mine
+		}(w)
+	}
+	wg.Wait()
+
+	c := st.Register()
+	defer c.Close()
+	for w := 0; w < workers; w++ {
+		for k, want := range counts[w] {
+			v, ok := c.Get(k)
+			if !ok || v != want {
+				t.Fatalf("key %d (worker %d): got (%d,%v), want %d increments", k, w, v, ok, want)
+			}
+		}
+	}
+}

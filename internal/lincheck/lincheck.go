@@ -23,11 +23,18 @@ import (
 // Kind is the operation type of a recorded event.
 type Kind uint8
 
-// Operation kinds.
+// Operation kinds. The two upsert kinds serve the KV layer
+// (internal/kv): KUpsert is an atomic upsert that also observed the
+// prior state (Ok = was present, Val = prior value, Arg = value
+// written) — the shape of both native Upsert and ReadModifyWrite; KPut
+// is a blind upsert that observed only prior presence (Ok), as returned
+// by kv's Put.
 const (
 	KInsert Kind = iota
 	KDelete
 	KFind
+	KUpsert
+	KPut
 )
 
 func (k Kind) String() string {
@@ -36,6 +43,10 @@ func (k Kind) String() string {
 		return "insert"
 	case KDelete:
 		return "delete"
+	case KUpsert:
+		return "upsert"
+	case KPut:
+		return "put"
 	default:
 		return "find"
 	}
@@ -100,6 +111,22 @@ func (h *Handle) Delete(p *flock.Proc, k uint64) bool {
 	return ok
 }
 
+// Upsert records a native atomic upsert storing v; it panics if the
+// wrapped set does not implement set.Upserter.
+func (h *Handle) Upsert(p *flock.Proc, k, v uint64) (uint64, bool) {
+	up, ok := h.r.s.(set.Upserter)
+	if !ok {
+		panic("lincheck: wrapped set does not implement set.Upserter")
+	}
+	start := h.r.clock.Add(1)
+	old, present := up.Upsert(p, k, func(uint64, bool) uint64 { return v })
+	end := h.r.clock.Add(1)
+	h.r.hists[h.w] = append(h.r.hists[h.w], Op{
+		Kind: KUpsert, Key: k, Arg: v, Ok: present, Val: old, Start: start, End: end, Worker: h.w,
+	})
+	return old, present
+}
+
 // Find records a find.
 func (h *Handle) Find(p *flock.Proc, k uint64) (uint64, bool) {
 	start := h.r.clock.Add(1)
@@ -146,6 +173,18 @@ func (c cell) step(op Op) (cell, bool) {
 			return cell{}, true
 		}
 		return c, !c.present
+	case KUpsert:
+		// Observed prior presence (Ok) and prior value (Val); wrote Arg.
+		if op.Ok != c.present || (op.Ok && c.val != op.Val) {
+			return c, false
+		}
+		return cell{present: true, val: op.Arg}, true
+	case KPut:
+		// Observed only prior presence (Ok); wrote Arg.
+		if op.Ok != c.present {
+			return c, false
+		}
+		return cell{present: true, val: op.Arg}, true
 	default: // KFind
 		if op.Ok {
 			return c, c.present && c.val == op.Val

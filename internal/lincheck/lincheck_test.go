@@ -140,3 +140,65 @@ func TestEmptyHistory(t *testing.T) {
 		t.Fatalf("empty history rejected")
 	}
 }
+
+func TestUpsertSequentialHistory(t *testing.T) {
+	h := []Op{
+		{Kind: KUpsert, Key: 1, Arg: 10, Ok: false, Start: 1, End: 2},         // insert 10
+		{Kind: KUpsert, Key: 1, Arg: 30, Ok: true, Val: 10, Start: 3, End: 4}, // saw 10, wrote 30
+		{Kind: KFind, Key: 1, Ok: true, Val: 30, Start: 5, End: 6},
+		{Kind: KPut, Key: 1, Arg: 40, Ok: true, Start: 7, End: 8},              // blind overwrite
+		{Kind: KUpsert, Key: 1, Arg: 50, Ok: true, Val: 40, Start: 9, End: 10}, // saw the put's value
+		{Kind: KDelete, Key: 1, Ok: true, Start: 11, End: 12},
+		{Kind: KPut, Key: 1, Arg: 5, Ok: false, Start: 13, End: 14}, // reinsert after delete
+		{Kind: KFind, Key: 1, Ok: true, Val: 5, Start: 15, End: 16},
+	}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("valid upsert history rejected: %v", res)
+	}
+}
+
+func TestRejectsUpsertWrongPriorValue(t *testing.T) {
+	h := []Op{
+		{Kind: KUpsert, Key: 1, Arg: 10, Ok: false, Start: 1, End: 2},
+		{Kind: KUpsert, Key: 1, Arg: 30, Ok: true, Val: 99, Start: 3, End: 4}, // claims it saw 99
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("upsert with impossible prior value accepted")
+	}
+}
+
+func TestRejectsUpsertWrongPresence(t *testing.T) {
+	h := []Op{
+		{Kind: KPut, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2}, // claims present on empty set
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("put observing presence on an empty set accepted")
+	}
+	h = []Op{
+		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+		{Kind: KUpsert, Key: 1, Arg: 20, Ok: false, Start: 3, End: 4}, // claims absent
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("upsert observing absence on a present key accepted")
+	}
+}
+
+func TestConcurrentUpsertFindEitherOrder(t *testing.T) {
+	// An upsert overlapping a find: the find may see the old or new value.
+	base := []Op{
+		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+		{Kind: KUpsert, Key: 1, Arg: 20, Ok: true, Val: 10, Start: 3, End: 6},
+	}
+	for _, seen := range []uint64{10, 20} {
+		h := append(append([]Op{}, base...),
+			Op{Kind: KFind, Key: 1, Ok: true, Val: seen, Start: 4, End: 5})
+		if res := Check(h); !res.Ok {
+			t.Fatalf("overlapping find seeing %d rejected: %v", seen, res)
+		}
+	}
+	h := append(append([]Op{}, base...),
+		Op{Kind: KFind, Key: 1, Ok: true, Val: 77, Start: 4, End: 5})
+	if res := Check(h); res.Ok {
+		t.Fatalf("overlapping find seeing impossible value accepted")
+	}
+}

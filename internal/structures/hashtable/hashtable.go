@@ -8,14 +8,17 @@ package hashtable
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	flock "flock/internal/core"
 )
 
 // node is one chain link. The head node of each bucket is a sentinel that
-// is never removed.
+// is never removed. The value is a Mutable (not a plain field) so Upsert
+// can replace it in place under the node's lock.
 type node struct {
-	k, v    uint64
+	k       uint64
+	v       flock.Mutable[uint64]
 	next    flock.Mutable[*node]
 	removed flock.UpdateOnce[bool]
 	lck     flock.Lock
@@ -69,7 +72,7 @@ func (t *Table) Find(p *flock.Proc, k uint64) (uint64, bool) {
 	defer p.End()
 	_, curr := t.locate(p, k)
 	if curr != nil && curr.k == k && !curr.removed.Load(p) {
-		return curr.v, true
+		return curr.v.Load(p), true
 	}
 	return 0, false
 }
@@ -91,7 +94,8 @@ func (t *Table) Insert(p *flock.Proc, k, v uint64) bool {
 				return false
 			}
 			n := flock.Allocate(hp, func() *node {
-				nn := &node{k: k, v: v}
+				nn := &node{k: k}
+				nn.v.Init(v)
 				nn.next.Init(curr)
 				return nn
 			})
@@ -127,6 +131,60 @@ func (t *Table) Delete(p *flock.Proc, k uint64) bool {
 		})
 		if ok {
 			return true
+		}
+	}
+}
+
+// Upsert implements set.Upserter: it stores f(old, present) under k in
+// one critical section. A present key's value is replaced in place under
+// the node's lock (the lock excludes both Delete, which takes it before
+// splicing, and other Upserts); an absent key takes Insert's path with
+// value f(0, false). The old value is read through the thunk log, so all
+// helper runs observe the same value and f (which must be pure) computes
+// the same replacement in every run.
+func (t *Table) Upsert(p *flock.Proc, k uint64, f func(old uint64, present bool) uint64) (uint64, bool) {
+	p.Begin()
+	defer p.End()
+	for {
+		pred, curr := t.locate(p, k)
+		if curr != nil && curr.k == k {
+			if curr.removed.Load(p) {
+				continue
+			}
+			// prev is written by whichever runs of the thunk execute
+			// (owner and helpers); the logged load makes them all store
+			// the same value, so the atomic store is idempotent.
+			var prev atomic.Uint64
+			ok := curr.lck.TryLock(p, func(hp *flock.Proc) bool {
+				if curr.removed.Load(hp) {
+					return false // deleted under us; revalidate
+				}
+				old := curr.v.Load(hp)
+				curr.v.Store(hp, f(old, true))
+				prev.Store(old)
+				return true
+			})
+			if ok {
+				return prev.Load(), true
+			}
+			continue
+		}
+		newv := f(0, false)
+		ok := pred.lck.TryLock(p, func(hp *flock.Proc) bool {
+			if pred.removed.Load(hp) || pred.next.Load(hp) != curr {
+				return false
+			}
+			n := flock.Allocate(hp, func() *node {
+				nn := &node{k: k}
+				nn.v.Init(newv)
+				nn.next.Init(curr)
+				return nn
+			})
+			pred.next.Store(hp, n)
+			return true
+		})
+		if ok {
+			return 0, false
 		}
 	}
 }

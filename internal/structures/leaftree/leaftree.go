@@ -180,6 +180,65 @@ func (t *Tree) Delete(p *flock.Proc, k uint64) bool {
 	}
 }
 
+// Upsert implements set.Upserter: it stores f(old, present) under k in
+// one critical section. When k is present the leaf is replaced (leaf
+// values are immutable, so a value update is a pointer swap under the
+// parent's lock, validated the same way as Insert); when absent it is a
+// plain insert of f(0, false). The old value is read from the immutable
+// leaf before locking, so f runs outside the thunk and the validation
+// (the parent still points at that exact leaf) pins it.
+func (t *Tree) Upsert(p *flock.Proc, k uint64, f func(old uint64, present bool) uint64) (uint64, bool) {
+	p.Begin()
+	defer p.End()
+	for {
+		_, pp, leaf := t.search(p, k)
+		if leaf.k == k {
+			oldv := leaf.v
+			newv := f(oldv, true)
+			ok := t.acquire(p, &pp.lck, func(hp *flock.Proc) bool {
+				if pp.removed.Load(hp) || childOf(pp, k).Load(hp) != leaf {
+					return false // validate
+				}
+				repl := flock.Allocate(hp, func() *node {
+					return &node{k: k, v: newv, leaf: true}
+				})
+				childOf(pp, k).Store(hp, repl)
+				flock.Retire(hp, leaf, nil)
+				return true
+			})
+			if ok {
+				return oldv, true
+			}
+			continue
+		}
+		newv := f(0, false)
+		ok := t.acquire(p, &pp.lck, func(hp *flock.Proc) bool {
+			if pp.removed.Load(hp) || childOf(pp, k).Load(hp) != leaf {
+				return false // validate
+			}
+			newLeaf := flock.Allocate(hp, func() *node {
+				return &node{k: k, v: newv, leaf: true}
+			})
+			inner := flock.Allocate(hp, func() *node {
+				in := &node{k: maxKey(k, leaf.k)}
+				if k < leaf.k {
+					in.left.Init(newLeaf)
+					in.right.Init(leaf)
+				} else {
+					in.left.Init(leaf)
+					in.right.Init(newLeaf)
+				}
+				return in
+			})
+			childOf(pp, k).Store(hp, inner)
+			return true
+		})
+		if ok {
+			return 0, false
+		}
+	}
+}
+
 func maxKey(a, b uint64) uint64 {
 	if a > b {
 		return a

@@ -20,3 +20,19 @@ type Set interface {
 	// Find returns the value associated with k, if present.
 	Find(p *flock.Proc, k uint64) (uint64, bool)
 }
+
+// Upserter is optionally implemented by sets that can apply an atomic
+// upsert inside a single critical section: the key ends up present with
+// value f(old, present) in one linearization point, with no transient
+// absent window. It backs the KV layer's Put and ReadModifyWrite
+// (internal/kv); sets without it fall back to a non-atomic
+// delete-then-insert there.
+//
+// f must be pure: in lock-free mode the enclosing thunk may be re-run
+// by helper threads, so f can be evaluated more than once and every
+// evaluation must return the same result for the same inputs.
+type Upserter interface {
+	// Upsert stores f(old, present) under k, inserting if absent, and
+	// returns the previous value and whether k was present.
+	Upsert(p *flock.Proc, k uint64, f func(old uint64, present bool) uint64) (uint64, bool)
+}

@@ -35,9 +35,13 @@ var Modes = []struct {
 	{"blocking", true},
 }
 
-// Run executes the full suite against the factory.
+// Run executes the full suite against the factory. Structures that
+// implement set.Upserter additionally get upsert model and upsert
+// linearizability passes.
 func Run(t *testing.T, f Factory) {
 	t.Helper()
+	probe, _ := newSet(f, false)
+	_, upsertable := probe.(set.Upserter)
 	for _, m := range Modes {
 		t.Run(m.Name, func(t *testing.T) {
 			t.Run("SequentialModel", func(t *testing.T) { sequentialModel(t, f, m.Blocking) })
@@ -50,6 +54,11 @@ func Run(t *testing.T, f Factory) {
 				// Descheduling injection exercises helping on every
 				// code path; only meaningful in lock-free mode.
 				t.Run("LinearizableWithStalls", func(t *testing.T) { linearizable(t, f, false, 25) })
+			}
+			if upsertable {
+				t.Run("UpsertModel", func(t *testing.T) { upsertModel(t, f, m.Blocking) })
+				t.Run("UpsertLinearizable", func(t *testing.T) { upsertLinearizable(t, f, m.Blocking) })
+				t.Run("UpsertCounter", func(t *testing.T) { upsertCounter(t, f, m.Blocking) })
 			}
 		})
 	}
@@ -347,6 +356,140 @@ func linearizable(t *testing.T, f Factory, blocking bool, stallEvery int) {
 	hist := rec.History()
 	if res := lincheck.Check(hist); !res.Ok {
 		t.Fatalf("history of %d ops: %v", len(hist), res)
+	}
+}
+
+// upsertModel drives one worker through a scripted mix of all four
+// operations (including atomic upserts) and compares every return value
+// against a map model.
+func upsertModel(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	up := s.(set.Upserter)
+	p := rt.Register()
+	defer p.Unregister()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(19))
+
+	const ops = 4000
+	const keySpace = 150
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Intn(keySpace) + 1)
+		switch rng.Intn(4) {
+		case 0:
+			v := rng.Uint64()
+			_, had := model[k]
+			if s.Insert(p, k, v) == had {
+				t.Fatalf("op %d: Insert(%d) inconsistent", i, k)
+			}
+			if !had {
+				model[k] = v
+			}
+		case 1:
+			_, had := model[k]
+			if s.Delete(p, k) != had {
+				t.Fatalf("op %d: Delete(%d) inconsistent", i, k)
+			}
+			delete(model, k)
+		case 2:
+			want, had := model[k]
+			v, got := s.Find(p, k)
+			if got != had || (had && v != want) {
+				t.Fatalf("op %d: Find(%d)=(%d,%v), model (%d,%v)", i, k, v, got, want, had)
+			}
+		case 3:
+			delta := rng.Uint64()%1000 + 1
+			want, had := model[k]
+			old, present := up.Upsert(p, k, func(o uint64, _ bool) uint64 { return o + delta })
+			if present != had || (had && old != want) {
+				t.Fatalf("op %d: Upsert(%d)=(%d,%v), model (%d,%v)", i, k, old, present, want, had)
+			}
+			model[k] = want + delta
+		}
+	}
+	for k := uint64(1); k <= keySpace; k++ {
+		want, had := model[k]
+		v, got := s.Find(p, k)
+		if got != had || (had && v != want) {
+			t.Fatalf("final sweep: Find(%d)=(%d,%v), model (%d,%v)", k, v, got, want, had)
+		}
+	}
+}
+
+// upsertLinearizable records contended histories mixing upserts with the
+// set operations and checks them with lincheck.
+func upsertLinearizable(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	const workers = 6
+	const keys = 4
+	const opsPer = 200
+	rec := lincheck.NewRecorder(s, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := rec.Worker(w)
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(w)*733 + 5))
+			for i := 0; i < opsPer; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				switch rng.Intn(4) {
+				case 0:
+					h.Insert(p, k, uint64(w)*10000+uint64(i))
+				case 1:
+					h.Delete(p, k)
+				case 2:
+					h.Upsert(p, k, uint64(w)*10000+5000+uint64(i))
+				default:
+					h.Find(p, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hist := rec.History()
+	if res := lincheck.Check(hist); !res.Ok {
+		t.Fatalf("history of %d ops: %v", len(hist), res)
+	}
+}
+
+// upsertCounter is the classic atomicity test: every worker increments a
+// few hot keys via Upsert; lost updates would make the final sums fall
+// short of the recorded increment counts.
+func upsertCounter(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	up := s.(set.Upserter)
+	const workers = 8
+	const keys = 3
+	const opsPer = 800
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(w)*389 + 1))
+			for i := 0; i < opsPer; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				up.Upsert(p, k, func(o uint64, _ bool) uint64 { return o + 1 })
+			}
+		}(w)
+	}
+	wg.Wait()
+	p := rt.Register()
+	defer p.Unregister()
+	var total uint64
+	for k := uint64(1); k <= keys; k++ {
+		v, ok := s.Find(p, k)
+		if !ok {
+			t.Fatalf("hot key %d absent after increments", k)
+		}
+		total += v
+	}
+	if total != workers*opsPer {
+		t.Fatalf("lost updates: counted %d increments, want %d", total, workers*opsPer)
 	}
 }
 

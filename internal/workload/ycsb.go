@@ -1,0 +1,87 @@
+package workload
+
+import "fmt"
+
+// YCSBOp is one generated KV operation kind.
+type YCSBOp uint8
+
+// YCSB operation kinds: reads map to kv Get, updates to kv Put (blind
+// upsert), and read-modify-writes to kv ReadModifyWrite.
+const (
+	YRead YCSBOp = iota
+	YUpdate
+	YRMW
+)
+
+func (o YCSBOp) String() string {
+	switch o {
+	case YRead:
+		return "read"
+	case YUpdate:
+		return "update"
+	default:
+		return "rmw"
+	}
+}
+
+// ycsbMix is one workload's operation percentages (they sum to 100).
+type ycsbMix struct {
+	read, update, rmw int
+}
+
+// ycsbMixes holds the core YCSB workloads as op-mix specs. A: 50/50
+// read/update; B: 95/5 read/update; C: read-only; F: 50/50
+// read/read-modify-write. (D and E need latest-distribution and scan
+// support and are out of scope here.)
+var ycsbMixes = map[string]ycsbMix{
+	"a": {read: 50, update: 50},
+	"b": {read: 95, update: 5},
+	"c": {read: 100},
+	"f": {read: 50, rmw: 50},
+}
+
+// YCSBWorkloads returns the supported workload names in order.
+func YCSBWorkloads() []string { return []string{"a", "b", "c", "f"} }
+
+// YCSB generates one worker's deterministic YCSB operation stream: keys
+// drawn zipfian from [1, keyRange] (theta = 0 uniform, per Zipf), ops
+// drawn from the named workload's mix. As with Mix, hashKeys sparsifies
+// keys through Hash64 for trie-shaped structures.
+type YCSB struct {
+	zipf     *Zipf
+	mix      ycsbMix
+	hashKeys bool
+	rng      *SplitMix64
+}
+
+// NewYCSB builds a per-worker generator for the named workload ("a",
+// "b", "c" or "f"); each worker passes a distinct seed.
+func NewYCSB(name string, keyRange uint64, theta float64, hashKeys bool, seed uint64) (*YCSB, error) {
+	mix, ok := ycsbMixes[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown YCSB workload %q (have %v)", name, YCSBWorkloads())
+	}
+	return &YCSB{
+		zipf:     NewZipf(keyRange, theta),
+		mix:      mix,
+		hashKeys: hashKeys,
+		rng:      NewSplitMix64(seed),
+	}, nil
+}
+
+// Next returns the next operation and key.
+func (y *YCSB) Next() (YCSBOp, uint64) {
+	r := y.rng.Next()
+	k := y.zipf.Next(y.rng)
+	if y.hashKeys {
+		k = Hash64(k) | 1 // keep nonzero
+	}
+	switch c := int(r % 100); {
+	case c < y.mix.read:
+		return YRead, k
+	case c < y.mix.read+y.mix.update:
+		return YUpdate, k
+	default:
+		return YRMW, k
+	}
+}

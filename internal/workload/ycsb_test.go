@@ -1,0 +1,63 @@
+package workload
+
+import "testing"
+
+func TestYCSBUnknownWorkloadRejected(t *testing.T) {
+	if _, err := NewYCSB("e", 100, 0.99, false, 1); err == nil {
+		t.Fatalf("unsupported workload accepted")
+	}
+	if _, err := NewYCSB("", 100, 0.99, false, 1); err == nil {
+		t.Fatalf("empty workload name accepted")
+	}
+}
+
+func TestYCSBMixProportions(t *testing.T) {
+	want := map[string][3]int{ // read, update, rmw percentages
+		"a": {50, 50, 0},
+		"b": {95, 5, 0},
+		"c": {100, 0, 0},
+		"f": {50, 0, 50},
+	}
+	const draws = 100000
+	for _, name := range YCSBWorkloads() {
+		y, err := NewYCSB(name, 1000, 0.99, false, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [3]int
+		for i := 0; i < draws; i++ {
+			op, k := y.Next()
+			if k < 1 || k > 1000 {
+				t.Fatalf("%s: key %d out of range", name, k)
+			}
+			got[op]++
+		}
+		for i, pct := range want[name] {
+			share := float64(got[i]) / draws * 100
+			if share < float64(pct)-2 || share > float64(pct)+2 {
+				t.Fatalf("%s: op %d share %.1f%%, want ~%d%%", name, i, share, pct)
+			}
+		}
+	}
+}
+
+func TestYCSBDeterministicPerSeed(t *testing.T) {
+	a, _ := NewYCSB("a", 500, 0.9, false, 42)
+	b, _ := NewYCSB("a", 500, 0.9, false, 42)
+	for i := 0; i < 1000; i++ {
+		opA, kA := a.Next()
+		opB, kB := b.Next()
+		if opA != opB || kA != kB {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestYCSBHashedKeysNonZero(t *testing.T) {
+	y, _ := NewYCSB("a", 1000, 0.99, true, 3)
+	for i := 0; i < 5000; i++ {
+		if _, k := y.Next(); k == 0 {
+			t.Fatalf("hashed key 0")
+		}
+	}
+}

@@ -26,6 +26,7 @@ func TestFigureSpecsSmoke(t *testing.T) {
 	sc.Threads = []int{2}
 	sc.Base = 2
 	sc.Over = 4
+	sc.Shards = 2
 
 	figs := harness.Figures()
 	if len(figs) == 0 {
@@ -48,6 +49,12 @@ func TestFigureSpecsSmoke(t *testing.T) {
 			}
 			if res.Ops == 0 {
 				t.Errorf("%s series %s at x=%s: zero ops", id, s.Name, x)
+			}
+			// Every path (set mix and KV/YCSB alike) must report
+			// per-op latency: one sample per completed operation.
+			if res.Hist.Count() != res.Ops {
+				t.Errorf("%s series %s at x=%s: %d ops but %d latency samples",
+					id, s.Name, x, res.Ops, res.Hist.Count())
 			}
 		}
 	}
