@@ -61,6 +61,7 @@ func benchPoint(b *testing.B, spec harness.Spec) {
 	harness.Prefill(s, rt, spec)
 	rt.SetStallInjection(spec.StallEvery)
 	b.SetParallelism(spec.Threads) // GOMAXPROCS=1 core => exactly Threads workers
+	b.ReportAllocs()               // allocs/op is a first-class metric (DESIGN.md S10)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		p := rt.Register()
@@ -95,6 +96,7 @@ func benchKVPoint(b *testing.B, spec harness.Spec) {
 	harness.PrefillKV(st, spec)
 	st.SetStallInjection(spec.StallEvery)
 	b.SetParallelism(spec.Threads)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		c := st.Register()
@@ -160,6 +162,11 @@ func Benchmark_Fig7b(b *testing.B) { benchFigure(b, "fig7b") }
 // Benchmark_ExtStall is the descheduling-injection extension (the
 // explicit form of the paper's oversubscription effect; DESIGN.md S3).
 func Benchmark_ExtStall(b *testing.B) { benchFigure(b, "ext-stall") }
+
+// Benchmark_ExtAlloc is the allocation ablation (DESIGN.md S10): pooled
+// vs GC-fresh vs blocking, with -benchmem/ReportAllocs giving the
+// per-operation allocation counts the figure's allocs/op column plots.
+func Benchmark_ExtAlloc(b *testing.B) { benchFigure(b, "ext-alloc") }
 
 // The KV-layer YCSB extension figures (DESIGN.md S9).
 

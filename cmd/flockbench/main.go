@@ -34,6 +34,12 @@
 //	flockbench -figure ext-ycsb-a
 //	flockbench -structure leaftree -ycsb f -shards 8 -threads 16
 //
+// The allocation ablation (DESIGN.md S10) — pooled vs GC-fresh vs
+// blocking, with allocs/op reported alongside Mop/s:
+//
+//	flockbench -figure ext-alloc
+//	flockbench -structure leaftree -threads 16 -nopool
+//
 // Machine-readable capture (one JSON record per point, JSONL):
 //
 //	flockbench -figure all -json > BENCH_all.json
@@ -53,7 +59,7 @@ import (
 
 func main() {
 	var (
-		figure    = flag.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-ycsb-{a,b,c,f,shards}, or 'all')")
+		figure    = flag.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-alloc, ext-ycsb-{a,b,c,f,shards}, or 'all')")
 		list      = flag.Bool("list", false, "list figures and structures")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonOut   = flag.Bool("json", false, "emit one JSON record per point (JSONL) with Mops and latency percentiles")
@@ -72,6 +78,7 @@ func main() {
 		update    = flag.Int("update", 50, "single-point: update percentage")
 		alpha     = flag.Float64("alpha", 0.75, "single-point: zipfian parameter")
 		blocking  = flag.Bool("blocking", false, "single-point: blocking mode")
+		noPool    = flag.Bool("nopool", false, "single-point: disable descriptor/log/mbox pooling (GC-fresh ablation arm)")
 		hashKeys  = flag.Bool("hashkeys", false, "single-point: sparsify keys by hashing")
 		stall     = flag.Int("stall", 0, "single-point: inject a deschedule every N critical sections")
 		ycsb      = flag.String("ycsb", "", "single-point: run a YCSB workload (a, b, c, f) against the sharded KV store")
@@ -161,6 +168,7 @@ func main() {
 			UpdatePct:  *update,
 			Alpha:      *alpha,
 			HashKeys:   *hashKeys,
+			NoPool:     *noPool,
 			Duration:   orDefault(sc.Duration, 500*time.Millisecond),
 			Seed:       *seed,
 			StallEvery: *stall,
@@ -177,7 +185,7 @@ func main() {
 		if *jsonOut {
 			writeJSON(pointRecord{
 				Figure: "custom", Series: *structure, X: fmt.Sprint(*threads),
-				Mops: st.Mops, Std: st.Std,
+				Mops: st.Mops, Std: st.Std, AllocsPerOp: st.AllocsPerOp,
 				P50ns: st.P50.Nanoseconds(), P95ns: st.P95.Nanoseconds(), P99ns: st.P99.Nanoseconds(),
 			})
 			return
@@ -186,9 +194,12 @@ func main() {
 		if *ycsb != "" {
 			mode = fmt.Sprintf(" ycsb=%s shards=%d", *ycsb, spec.Shards)
 		}
-		fmt.Printf("%s threads=%d keys=%d update=%d%% alpha=%.2f blocking=%v stall=%d%s: %.3f Mop/s (±%.3f)  p50=%s p95=%s p99=%s\n",
+		if *noPool {
+			mode += " nopool"
+		}
+		fmt.Printf("%s threads=%d keys=%d update=%d%% alpha=%.2f blocking=%v stall=%d%s: %.3f Mop/s (±%.3f)  %.2f allocs/op  p50=%s p95=%s p99=%s\n",
 			*structure, *threads, *keys, *update, *alpha, *blocking, *stall, mode,
-			st.Mops, st.Std, fmtLat(st.P50), fmtLat(st.P95), fmtLat(st.P99))
+			st.Mops, st.Std, st.AllocsPerOp, fmtLat(st.P50), fmtLat(st.P95), fmtLat(st.P99))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -198,14 +209,15 @@ func main() {
 // pointRecord is the -json output schema: one record per measured
 // (figure, series, x) point, suitable for capture as BENCH_*.json.
 type pointRecord struct {
-	Figure string  `json:"figure"`
-	Series string  `json:"series"`
-	X      string  `json:"x"`
-	Mops   float64 `json:"mops"`
-	Std    float64 `json:"std"`
-	P50ns  int64   `json:"p50_ns"`
-	P95ns  int64   `json:"p95_ns"`
-	P99ns  int64   `json:"p99_ns"`
+	Figure      string  `json:"figure"`
+	Series      string  `json:"series"`
+	X           string  `json:"x"`
+	Mops        float64 `json:"mops"`
+	Std         float64 `json:"std"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	P50ns       int64   `json:"p50_ns"`
+	P95ns       int64   `json:"p95_ns"`
+	P99ns       int64   `json:"p99_ns"`
 }
 
 func writeJSON(rec pointRecord) {
@@ -220,7 +232,7 @@ func printFigureJSON(fig harness.Figure) {
 	for _, pt := range fig.Points {
 		writeJSON(pointRecord{
 			Figure: fig.ID, Series: pt.Series, X: pt.X,
-			Mops: pt.Mops, Std: pt.Std,
+			Mops: pt.Mops, Std: pt.Std, AllocsPerOp: pt.Allocs,
 			P50ns: pt.P50.Nanoseconds(), P95ns: pt.P95.Nanoseconds(), P99ns: pt.P99.Nanoseconds(),
 		})
 	}
@@ -261,11 +273,15 @@ func printFigure(fig harness.Figure, csv bool) {
 
 	if csv {
 		// Mops columns first (one per series), then per-series latency
-		// percentile columns in microseconds.
+		// percentile columns in microseconds, then per-series
+		// allocations per operation.
 		header := []string{fig.XLabel}
 		header = append(header, seriesNames...)
 		for _, s := range seriesNames {
 			header = append(header, s+":p50us", s+":p95us", s+":p99us")
+		}
+		for _, s := range seriesNames {
+			header = append(header, s+":allocs")
 		}
 		fmt.Println(strings.Join(header, ","))
 		for _, x := range xs {
@@ -279,6 +295,9 @@ func printFigure(fig harness.Figure, csv bool) {
 					fmt.Sprintf("%.2f", float64(pt.P50.Nanoseconds())/1e3),
 					fmt.Sprintf("%.2f", float64(pt.P95.Nanoseconds())/1e3),
 					fmt.Sprintf("%.2f", float64(pt.P99.Nanoseconds())/1e3))
+			}
+			for _, s := range seriesNames {
+				row = append(row, fmt.Sprintf("%.2f", vals[[2]string{s, x}].Allocs))
 			}
 			fmt.Println(strings.Join(row, ","))
 		}
@@ -319,6 +338,18 @@ func printFigure(fig harness.Figure, csv bool) {
 				float64(pt.P95.Nanoseconds())/1e3,
 				float64(pt.P99.Nanoseconds())/1e3)
 			fmt.Printf(" %*s", w, cell)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-12s", "")
+	for _, s := range seriesNames {
+		fmt.Printf(" %*s", w, s)
+	}
+	fmt.Println(" (allocs/op)")
+	for _, x := range xs {
+		fmt.Printf("%-12s", x)
+		for _, s := range seriesNames {
+			fmt.Printf(" %*.2f", w, vals[[2]string{s, x}].Allocs)
 		}
 		fmt.Println()
 	}

@@ -3,15 +3,17 @@ package flock
 // Allocate constructs an object idempotently inside a thunk (Algorithm 2,
 // allocate): every run calls mk, the first to commit wins, and all runs
 // return the winner's object; losers' objects are dropped (the paper's
-// sysFree becomes garbage collection). mk must have no side effects other
-// than building the object. Outside a thunk it is just mk().
+// sysFree becomes garbage collection). The winning pointer is committed
+// directly into the log slot, so the commit itself allocates nothing.
+// mk must have no side effects other than building the object. Outside a
+// thunk it is just mk().
 func Allocate[T any](p *Proc, mk func() *T) *T {
 	obj := mk()
 	if p.blk == nil {
 		return obj
 	}
-	c, _ := p.commit(obj)
-	return c.(*T)
+	c, _ := commitPtr(p, obj)
+	return c
 }
 
 // Retire schedules obj for reclamation once no concurrent operation can
@@ -31,8 +33,9 @@ func Retire[T any](p *Proc, obj *T, free func(*T)) {
 		return
 	}
 	// All runs must commit (to stay position-synchronized) even when
-	// there is nothing to do afterwards.
-	_, first := p.commit(true)
+	// there is nothing to do afterwards; the boolean sentinel encoding
+	// keeps this allocation-free.
+	_, first := p.commitBool(true)
 	if first && free != nil {
 		f := free
 		o := obj

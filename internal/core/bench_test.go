@@ -178,6 +178,46 @@ func BenchmarkTryVsStrict(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationPooling isolates the S10 memory management: the same
+// guarded lock+store loop with per-Proc pooling on (default) and off
+// (the GC-fresh path). At par=1 the pooled arm runs allocation-free;
+// heavily oversubscribed arms converge (grace periods stretch across
+// scheduler quanta and the pools saturate to the GC fallback), which is
+// why the pending list and freelists are capped.
+func BenchmarkAblationPooling(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts []Option
+	}{
+		{"pooled", nil},
+		{"nopool", []Option{NoPool()}},
+	} {
+		for _, par := range []int{1, 8} {
+			b.Run(cfg.name+"/par="+itoa(par), func(b *testing.B) {
+				rt := New(cfg.opts...)
+				var l Lock
+				var c Mutable[uint64]
+				b.SetParallelism(par)
+				b.ReportAllocs()
+				b.RunParallel(func(pb *testing.PB) {
+					p := rt.Register()
+					defer p.Unregister()
+					f := func(hp *Proc) bool {
+						v := c.Load(hp)
+						c.Store(hp, v+1)
+						return true
+					}
+					for pb.Next() {
+						p.Begin()
+						l.TryLock(p, f)
+						p.End()
+					}
+				})
+			})
+		}
+	}
+}
+
 // BenchmarkHelpingStorm measures throughput when every operation fights
 // over one lock with injected stalls, i.e. helping is constant — the
 // worst case for the log and the best case for progress.

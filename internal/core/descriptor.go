@@ -12,10 +12,13 @@ type Thunk func(*Proc) bool
 // section: the thunk, its shared log, a done flag, and the epoch at which
 // the owning operation was running (helpers lower themselves to it, §6).
 // The first log block is embedded so descriptor creation is a single
-// allocation. Descriptors are allocated fresh per acquisition and never
-// reused: a straggling helper that re-runs a completed descriptor replays
-// against a full log and fresh-box CASes, so every one of its effects is
-// discarded (see DESIGN.md S7).
+// allocation — or none: descriptors come from the per-Proc freelist and
+// are recycled after an epoch grace period once a later acquisition
+// unlinks them from the lock word. A straggling helper that re-runs a
+// completed (but not yet recycled) descriptor replays against a full log
+// and already-installed boxes, so every one of its effects is discarded;
+// its epoch announcement is what delays the recycling (DESIGN.md S7 and
+// S10).
 type descriptor struct {
 	thunk Thunk
 	birth uint64
@@ -24,14 +27,22 @@ type descriptor struct {
 }
 
 // newDescriptor creates (idempotently, when nested inside another thunk)
-// the descriptor for a lock acquisition.
+// the descriptor for a lock acquisition. The descriptor pointer itself
+// is committed directly into the log slot — no wrapper allocation — and
+// a descriptor whose commit lost to another run was never published, so
+// it returns to the freelist immediately.
 func (p *Proc) newDescriptor(f Thunk) *descriptor {
-	d := &descriptor{thunk: f, birth: p.currentEpoch()}
+	d := p.allocDescriptor()
+	d.thunk = f
+	d.birth = p.currentEpoch()
 	if p.blk == nil {
 		return d
 	}
-	c, _ := p.commit(d)
-	return c.(*descriptor)
+	c, first := commitPtr(p, d)
+	if !first {
+		p.releaseDescriptor(d)
+	}
+	return c
 }
 
 func (p *Proc) currentEpoch() uint64 {
@@ -42,14 +53,12 @@ func (p *Proc) currentEpoch() uint64 {
 }
 
 // loadDone reads the descriptor's done flag with update-once semantics:
-// committed inside thunks so all helpers agree.
+// committed inside thunks (via the boolean sentinel encoding, no
+// allocation) so all helpers agree.
 func (d *descriptor) loadDone(p *Proc) bool {
 	v := d.done.Load() != 0
-	if p.blk == nil {
-		return v
-	}
-	c, _ := p.commit(v)
-	return c.(bool)
+	c, _ := p.commitBool(v)
+	return c
 }
 
 // run executes the descriptor's thunk under its shared log (Algorithm 2,
@@ -57,7 +66,8 @@ func (d *descriptor) loadDone(p *Proc) bool {
 // and restores the previous log and position, so nested thunks and
 // helping compose. While running, the Proc announces the minimum of its
 // epoch and the descriptor's birth epoch so that memory the thunk
-// committed references to stays unreclaimed for stragglers (§6).
+// committed references to stays unreclaimed — and unrecycled — for
+// stragglers (§6, DESIGN.md S10).
 func (p *Proc) run(d *descriptor) bool {
 	oblk, oidx := p.blk, p.idx
 	prev := p.slot.Lower(d.birth)

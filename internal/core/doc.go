@@ -55,4 +55,17 @@
 //
 // The seven data structures under internal/structures are written in
 // exactly this style and serve as larger examples.
+//
+// # Memory management
+//
+// The hot commit path is allocation-free (§6 of the paper, DESIGN.md
+// S10): committed pointers (boxes, descriptors, Allocate results) land
+// directly in log slots — no wrapper entries, no interface boxing —
+// with booleans and nil encoded as sentinel addresses, and descriptors,
+// spill log blocks and value boxes are recycled through per-Proc
+// freelists gated by the epoch manager's grace periods. Wrap every
+// operation in Proc.Begin/End: the guards both protect Retire'd memory
+// and delay pooled reuse while a helper might still replay a log that
+// references the object. NoPool restores the GC-fresh behaviour (used
+// by the ext-alloc ablation).
 package flock

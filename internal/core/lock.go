@@ -45,7 +45,14 @@ func (l *Lock) TryLock(p *Proc, f Thunk) bool {
 	if !cur.locked {
 		my := p.newDescriptor(f)
 		myLS := lockState{d: my, locked: true}
-		l.state.CAM(p, cur, myLS)
+		// camx reports whether our own CAS installed myLS; that run (and
+		// only that run) unlinked the previous acquisition's descriptor
+		// from the lock word, so it parks cur.d for pooled reuse after
+		// the epoch grace period (DESIGN.md S10).
+		swapped := l.state.camx(p, cur, myLS)
+		if swapped && cur.d != nil && cur.d != my {
+			p.retireDescriptor(cur.d)
+		}
 		cur2 := l.state.Load(p)
 		// The done check (Algorithm 3, line 20) is essential: our CAM may
 		// have succeeded and the descriptor already been helped to
@@ -56,11 +63,19 @@ func (l *Lock) TryLock(p *Proc, f Thunk) bool {
 				p.maybeStall() // injected descheduling while holding the lock
 			}
 			result = l.runAndUnlock(p, myLS) // run own critical section
-		} else if cur2.locked {
-			l.runAndUnlock(p, cur2) // lost the race: help the winner
+		} else {
+			if cur2.locked {
+				l.runAndUnlock(p, cur2) // lost the race: help the winner
+			}
+			// else: the lock was acquired and released between our
+			// loads; nothing to help. Either way our tryLock failed.
+			if !swapped && p.blk == nil {
+				// Top level with a failed install: no other run of this
+				// acquisition exists, so my was never published and goes
+				// straight back to the freelist.
+				p.releaseDescriptor(my)
+			}
 		}
-		// else: the lock was acquired and released between our loads;
-		// nothing to help. Either way our tryLock failed (unless done).
 	} else {
 		l.runAndUnlock(p, cur) // help the current holder, then report failure
 	}
@@ -83,7 +98,9 @@ func (l *Lock) Lock(p *Proc, f Thunk) bool {
 			l.runAndUnlock(p, cur) // help, then try again
 			continue
 		}
-		l.state.CAM(p, cur, myLS)
+		if l.state.camx(p, cur, myLS) && cur.d != nil && cur.d != my {
+			p.retireDescriptor(cur.d) // see TryLock: exactly-once unlink
+		}
 		cur2 := l.state.Load(p)
 		if my.loadDone(p) || cur2 == myLS {
 			if p.blk == nil {

@@ -1,6 +1,9 @@
 package flock
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 // logBlockLen is the number of entries per log block (the Flock default).
 // When a run of a thunk exhausts a block, the next block is linked in
@@ -8,29 +11,140 @@ import "sync/atomic"
 // every other run adopts the winner.
 const logBlockLen = 7
 
-// logEntry is one committed value. The pointer-to-entry in a log slot is
-// CAS'd from nil exactly once; the entry itself is immutable afterwards,
-// which is what lets helpers read committed values without synchronization
-// beyond the initial CAS.
+// logSlot is one log position: a raw pointer word that is CAS'd from nil
+// exactly once and immutable afterwards. The committed pointer is stored
+// *directly* — no wrapper entry, no interface box — which is what makes
+// the hot commit path (boxes, descriptors, Allocate results, booleans)
+// allocation-free. nil pointers and booleans are encoded with the
+// sentinel addresses below.
+//
+// The slow path (Proc.Commit / CommitValue of arbitrary values, and
+// UpdateOnce loads) stores a *logEntry wrapper instead. The two
+// encodings never mix at one position: every run of a thunk executes the
+// same operation at the same log position (the determinism rules in the
+// package documentation), so the call site that committed a slot is also
+// the only call site that ever decodes it.
+type logSlot struct {
+	v unsafe.Pointer
+}
+
+func (s *logSlot) load() unsafe.Pointer { return atomic.LoadPointer(&s.v) }
+func (s *logSlot) cas(p unsafe.Pointer) bool {
+	return atomic.CompareAndSwapPointer(&s.v, nil, p)
+}
+
+// resetPlain clears the slot without atomics. Only legal once the
+// enclosing log is past its epoch grace period (no run can observe it).
+func (s *logSlot) resetPlain() { s.v = nil }
+
+// Sentinel addresses for values that have no heap pointer of their own.
+// They are addresses of private statics, so no user pointer can collide
+// with them.
+var sentinelBytes [3]byte
+
+var (
+	committedNil   = unsafe.Pointer(&sentinelBytes[0]) // a committed nil pointer
+	committedFalse = unsafe.Pointer(&sentinelBytes[1]) // a committed false
+	committedTrue  = unsafe.Pointer(&sentinelBytes[2]) // a committed true
+)
+
+// logBlock is a fixed-size chunk of a thunk's shared log.
+type logBlock struct {
+	entries [logBlockLen]logSlot
+	next    atomic.Pointer[logBlock]
+}
+
+// resetPlain clears all entries (same grace-period contract as
+// logSlot.resetPlain).
+func (b *logBlock) resetPlain() {
+	for i := range b.entries {
+		b.entries[i].resetPlain()
+	}
+}
+
+// commitRaw implements the paper's commitValue (Algorithm 2, line 31)
+// over raw pointers: it attempts to record v at the Proc's current log
+// position and returns the pointer actually committed there together
+// with whether this call was the first to commit. The caller must be
+// inside a thunk (p.blk != nil). v may be nil, which is encoded as the
+// committedNil sentinel so the slot still flips away from the
+// uncommitted state.
+//
+// The read-before-CAS fast path is the compare-and-compare-and-swap
+// optimization from §6: under heavy helping most slots are already
+// committed and the CAS (and its cache-line invalidation) can be
+// skipped.
+func (p *Proc) commitRaw(v unsafe.Pointer) (unsafe.Pointer, bool) {
+	blk := p.blk
+	if p.idx == logBlockLen {
+		blk = p.advanceBlock(blk)
+	}
+	slot := &blk.entries[p.idx]
+	p.idx++
+	if p.rt.avoidCAS {
+		if e := slot.load(); e != nil {
+			return decodeRaw(e), false
+		}
+	}
+	enc := v
+	if enc == nil {
+		enc = committedNil
+	}
+	if slot.cas(enc) {
+		return v, true
+	}
+	return decodeRaw(slot.load()), false
+}
+
+func decodeRaw(e unsafe.Pointer) unsafe.Pointer {
+	if e == committedNil {
+		return nil
+	}
+	return e
+}
+
+// commitPtr is the typed pointer-committing fast path: the committed
+// pointer lands in the log slot directly, so replays allocate nothing.
+// Outside any thunk it is a pass-through.
+func commitPtr[T any](p *Proc, v *T) (*T, bool) {
+	if p.blk == nil {
+		return v, true
+	}
+	c, first := p.commitRaw(unsafe.Pointer(v))
+	return (*T)(c), first
+}
+
+// commitBool commits a boolean via the sentinel encoding — no
+// allocation, no interface box. Outside any thunk it is a pass-through.
+func (p *Proc) commitBool(v bool) (bool, bool) {
+	if p.blk == nil {
+		return v, true
+	}
+	enc := committedFalse
+	if v {
+		enc = committedTrue
+	}
+	c, first := p.commitRaw(enc)
+	if first {
+		return v, true
+	}
+	return c == committedTrue, false
+}
+
+// logEntry boxes one committed value for the general (non-pointer)
+// commit path. The pointer-to-entry in a log slot is CAS'd from nil
+// exactly once; the entry itself is immutable afterwards.
 type logEntry struct {
 	val any
 }
 
-// logBlock is a fixed-size chunk of a thunk's shared log.
-type logBlock struct {
-	entries [logBlockLen]atomic.Pointer[logEntry]
-	next    atomic.Pointer[logBlock]
-}
-
-// commit implements the paper's commitValue (Algorithm 2, line 31). It
-// attempts to record v at the Proc's current log position and returns the
-// value actually committed there together with whether this call was the
-// first to commit. Outside any thunk (no installed log) it is a
-// pass-through.
-//
-// The read-before-CAS fast path is the compare-and-compare-and-swap
-// optimization from §6: under heavy helping most slots are already
-// committed and the CAS (and its cache-line invalidation) can be skipped.
+// commit is the general commitValue for arbitrary values: Proc.Commit,
+// CommitValue and UpdateOnce loads. It boxes the value in a logEntry
+// (one allocation when this run is the one that commits; under the
+// default compare-and-compare-and-swap mode, replays of an
+// already-committed slot allocate nothing thanks to the read-first
+// check). Hot-path callers (Mutable, descriptors, Allocate, Retire) use
+// commitPtr/commitBool instead. Outside any thunk it is a pass-through.
 func (p *Proc) commit(v any) (any, bool) {
 	blk := p.blk
 	if blk == nil {
@@ -42,26 +156,29 @@ func (p *Proc) commit(v any) (any, bool) {
 	slot := &blk.entries[p.idx]
 	p.idx++
 	if p.rt.avoidCAS {
-		if e := slot.Load(); e != nil {
-			return e.val, false
+		if e := slot.load(); e != nil {
+			return (*logEntry)(e).val, false
 		}
 	}
 	mine := &logEntry{val: v}
-	if slot.CompareAndSwap(nil, mine) {
+	if slot.cas(unsafe.Pointer(mine)) {
 		return v, true
 	}
-	return slot.Load().val, false
+	return (*logEntry)(slot.load()).val, false
 }
 
-// advanceBlock moves the Proc's cursor to the next log block, creating it
-// idempotently if this run is the first to need it.
+// advanceBlock moves the Proc's cursor to the next log block, creating
+// it idempotently if this run is the first to need it. Spill blocks come
+// from the Proc's freelist; a block that loses the linking CAS was never
+// published and goes straight back.
 func (p *Proc) advanceBlock(blk *logBlock) *logBlock {
 	next := blk.next.Load()
 	if next == nil {
-		nb := &logBlock{}
+		nb := p.allocBlock()
 		if blk.next.CompareAndSwap(nil, nb) {
 			next = nb
 		} else {
+			p.freeBlock(nb)
 			next = blk.next.Load()
 		}
 	}

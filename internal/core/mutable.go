@@ -2,22 +2,28 @@ package flock
 
 import "sync/atomic"
 
-// mbox is the immutable heap box holding one version of a mutable value.
-// Every Store/CAM installs a fresh box, so a box address can never recur
-// in a location while a log or helper still references it: box identity is
-// ABA-free by construction. This plays the role of the paper's version
-// tags (§6 "ABA") with the Go garbage collector guaranteeing uniqueness.
+// mbox is the immutable-while-installed heap box holding one version of
+// a mutable value. Every Store/CAM installs a box that is not referenced
+// by any location or log, so a box address can never recur in a location
+// while a log or helper still references it: box identity is ABA-free.
+// This plays the role of the paper's version tags (§6 "ABA"). With
+// pooling enabled the uniqueness window is enforced by epoch grace
+// periods — a box CASed out of a location rejoins the freelist only
+// after every operation that could have committed it has finished
+// (DESIGN.md S10); with NoPool it is enforced by the garbage collector
+// as before (S1).
 type mbox[V comparable] struct {
 	v V
 }
 
 // Mutable is a shared location that may be mutated inside locks, with the
 // interface of the paper's mutable<V> (Algorithm 2): Load, Store and CAM.
-// Inside a thunk, loads commit the observed box to the thunk's shared log
-// so all helpers agree; stores and CAMs turn into a single CAS against the
-// committed box, of which exactly one run's attempt can succeed. Outside
-// any thunk (including all of blocking mode) the operations compile down
-// to plain atomic loads and stores with no logging.
+// Inside a thunk, loads commit the observed box pointer directly to the
+// thunk's shared log (no wrapper, no interface box) so all helpers
+// agree; stores and CAMs turn into a single CAS against the committed
+// box, of which exactly one run's attempt can succeed. Outside any thunk
+// (including all of blocking mode) the operations compile down to plain
+// atomic loads and stores with no logging.
 //
 // The zero value holds the zero value of V.
 type Mutable[V comparable] struct {
@@ -36,8 +42,8 @@ func (m *Mutable[V]) loadBox(p *Proc) *mbox[V] {
 	if p.blk == nil {
 		return bx
 	}
-	c, _ := p.commit(bx)
-	return c.(*mbox[V])
+	c, _ := commitPtr(p, bx)
+	return c
 }
 
 // Load returns the current value (Algorithm 2, load).
@@ -54,34 +60,55 @@ func (m *Mutable[V]) Load(p *Proc) V {
 // logged load, then a CAS from the committed old box, so only the first
 // run's store takes effect. Stores must not race with other Stores or
 // CAMs on the same location (they are protected by the enclosing lock).
+// The replaced box is recycled after its epoch grace period; a box that
+// lost the install CAS was never published and is recycled immediately.
 func (m *Mutable[V]) Store(p *Proc, v V) {
 	if p.blk == nil {
-		m.b.Store(&mbox[V]{v: v})
+		old := m.b.Load()
+		m.b.Store(allocBox(p, v))
+		retireBox(p, old)
 		return
 	}
 	old := m.loadBox(p)
 	if p.rt.avoidCAS && m.b.Load() != old {
 		return // someone already moved it past old; our CAS would fail
 	}
-	m.b.CompareAndSwap(old, &mbox[V]{v: v})
+	nb := allocBox(p, v)
+	if m.b.CompareAndSwap(old, nb) {
+		retireBox(p, old)
+	} else {
+		freeBox(p, nb)
+	}
 }
 
 // CAM is a compare-and-modify: if the current value equals old, replace it
 // with new; it deliberately returns nothing, since different runs of the
 // same thunk could observe different CAS outcomes (Algorithm 2, CAM).
-func (m *Mutable[V]) CAM(p *Proc, old, new V) {
+func (m *Mutable[V]) CAM(p *Proc, old, new V) { m.camx(p, old, new) }
+
+// camx is CAM plus a report of whether this call's own CAS physically
+// installed the new box — information CAM cannot expose to thunk code
+// (different runs would disagree) but which the lock implementation
+// needs for exactly-once descriptor retirement.
+func (m *Mutable[V]) camx(p *Proc, old, new V) bool {
 	bx := m.loadBox(p)
 	var cur V
 	if bx != nil {
 		cur = bx.v
 	}
 	if cur != old {
-		return
+		return false
 	}
 	if p.blk != nil && p.rt.avoidCAS && m.b.Load() != bx {
-		return
+		return false
 	}
-	m.b.CompareAndSwap(bx, &mbox[V]{v: new})
+	nb := allocBox(p, new)
+	if m.b.CompareAndSwap(bx, nb) {
+		retireBox(p, bx)
+		return true
+	}
+	freeBox(p, nb)
+	return false
 }
 
 // UpdateOnce is a shared location with an initial value that is updated at
@@ -89,6 +116,10 @@ func (m *Mutable[V]) CAM(p *Proc, old, new V) {
 // before or after the update. Such locations are naturally ABA-free, so a
 // store is a plain write (every run writes the same value) and a load
 // commits the value itself rather than a box.
+//
+// UpdateOnce deliberately stays on the general (boxed) commit path and
+// never pools its boxes: its Store is a racy idempotent plain write, so
+// no single run can claim the unique unlink needed for pooled reuse.
 //
 // The zero value holds the zero value of V.
 type UpdateOnce[V comparable] struct {

@@ -14,6 +14,11 @@ type Runtime struct {
 	epochs   *epoch.Manager
 	blocking atomic.Bool
 	avoidCAS bool
+	// pooling, when true (the default), recycles descriptors, spill log
+	// blocks and mboxes through per-Proc freelists gated by epoch grace
+	// periods (DESIGN.md S10) instead of allocating fresh objects on
+	// every operation. Disabled by NoPool for the ext-alloc ablation.
+	pooling bool
 	// stallEvery, when nonzero, makes every stallEvery-th successful
 	// top-level lock acquisition yield the processor while holding the
 	// lock — an injected descheduling event (the phenomenon behind the
@@ -33,10 +38,16 @@ func Blocking() Option { return func(rt *Runtime) { rt.blocking.Store(true) } }
 // by the ablation benchmarks.
 func NoCCAS() Option { return func(rt *Runtime) { rt.avoidCAS = false } }
 
+// NoPool disables descriptor/log-block/mbox pooling: every operation
+// allocates fresh objects and drops replaced ones to the garbage
+// collector. This is the repository's pre-pooling behaviour, kept as the
+// "GC-fresh" arm of the ext-alloc ablation.
+func NoPool() Option { return func(rt *Runtime) { rt.pooling = false } }
+
 // New creates a Runtime. The default mode is lock-free with the
-// compare-and-compare-and-swap optimization enabled.
+// compare-and-compare-and-swap optimization and object pooling enabled.
 func New(opts ...Option) *Runtime {
-	rt := &Runtime{epochs: epoch.NewManager(), avoidCAS: true}
+	rt := &Runtime{epochs: epoch.NewManager(), avoidCAS: true, pooling: true}
 	for _, o := range opts {
 		o(rt)
 	}
@@ -51,6 +62,9 @@ func (rt *Runtime) Blocking() bool { return rt.blocking.Load() }
 // on the mode, and the flag is deliberately not committed to logs.
 func (rt *Runtime) SetBlocking(v bool) { rt.blocking.Store(v) }
 
+// Pooling reports whether object pooling is enabled.
+func (rt *Runtime) Pooling() bool { return rt.pooling }
+
 // Epochs exposes the runtime's epoch manager (used by tests and by
 // structures that manage auxiliary memory).
 func (rt *Runtime) Epochs() *epoch.Manager { return rt.epochs }
@@ -58,15 +72,22 @@ func (rt *Runtime) Epochs() *epoch.Manager { return rt.epochs }
 // SetStallInjection makes every n-th successful top-level lock
 // acquisition yield the processor while inside the critical section,
 // simulating a thread descheduled partway through an update (§8, the
-// oversubscription experiments). n = 0 disables injection. In lock-free
-// mode other threads help the stalled critical section to completion; in
-// blocking mode they must wait for the stalled goroutine to be
-// rescheduled — which is the contrast the injection exposes.
-func (rt *Runtime) SetStallInjection(n int) { rt.stallEvery.Store(uint32(n)) }
+// oversubscription experiments). n <= 0 disables injection (negative
+// values are clamped rather than wrapping to a huge uint32 period). In
+// lock-free mode other threads help the stalled critical section to
+// completion; in blocking mode they must wait for the stalled goroutine
+// to be rescheduled — which is the contrast the injection exposes.
+func (rt *Runtime) SetStallInjection(n int) {
+	if n < 0 {
+		n = 0
+	}
+	rt.stallEvery.Store(uint32(n))
+}
 
 // Proc is the per-worker execution context: the paper's "process". It
-// carries the current thunk log and position, the worker's epoch slot and
-// a private RNG. A Proc must only be used by one goroutine at a time.
+// carries the current thunk log and position, the worker's epoch slot, a
+// private RNG, and the per-worker object freelists (DESIGN.md S10). A
+// Proc must only be used by one goroutine at a time.
 type Proc struct {
 	rt     *Runtime
 	blk    *logBlock // current log block; nil outside thunks
@@ -75,25 +96,55 @@ type Proc struct {
 	rng    uint64
 	stalls uint32 // acquisitions since the last injected stall
 
+	// Object pools (see pool.go). dfree/bfree hold clean descriptors and
+	// spill blocks; pools holds per-type mbox freelists; pending holds
+	// objects waiting out their epoch grace period.
+	dfree     []*descriptor
+	bfree     []*logBlock
+	pools     []typedPool
+	pending   []reusable
+	reuseTick uint64
+
 	_ [32]byte // discourage false sharing between adjacent Procs
+}
+
+// procSeq distinguishes Procs across all Runtimes so every worker gets a
+// private backoff-jitter stream (a shared constant seed would make all
+// workers back off in lockstep, defeating the jitter).
+var procSeq atomic.Uint64
+
+// seedRNG turns a registration ordinal into a well-mixed splitmix64
+// state.
+func seedRNG(n uint64) uint64 {
+	z := n * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Register creates a Proc for the calling worker goroutine.
 func (rt *Runtime) Register() *Proc {
-	return &Proc{rt: rt, slot: rt.epochs.Register(), rng: 0x9e3779b97f4a7c15}
+	return &Proc{rt: rt, slot: rt.epochs.Register(), rng: seedRNG(procSeq.Add(1))}
 }
 
 // Unregister releases the Proc's epoch slot. Pending retirements are
-// handed to the manager.
+// handed to the manager; objects awaiting pooled reuse are dropped to
+// the garbage collector (their grace periods may not have elapsed, so
+// they cannot join another Proc's freelist).
 func (p *Proc) Unregister() {
 	p.slot.Drain()
 	p.slot.Unregister()
+	p.pending = nil
 }
 
 // Begin enters an epoch guard. Every data structure operation must run
 // between Begin and End so that memory retired by concurrent operations
 // stays valid while this worker might still reference it. Guards nest.
-func (p *Proc) Begin() { p.slot.Enter() }
+// Begin also paces the pooled-reuse drain (pool.go).
+func (p *Proc) Begin() {
+	p.slot.Enter()
+	p.reuseTickDrain()
+}
 
 // End exits the epoch guard opened by Begin.
 func (p *Proc) End() { p.slot.Exit() }
@@ -101,9 +152,13 @@ func (p *Proc) End() { p.slot.Exit() }
 // Runtime returns the Proc's runtime.
 func (p *Proc) Runtime() *Runtime { return p.rt }
 
-// Drain forces epoch advancement and runs ripe retirement callbacks; for
-// tests and shutdown paths. Must be called outside any guard.
-func (p *Proc) Drain() { p.slot.Drain() }
+// Drain forces epoch advancement and runs ripe retirement callbacks,
+// including moving ripe pooled objects to their freelists; for tests and
+// shutdown paths. Must be called outside any guard.
+func (p *Proc) Drain() {
+	p.slot.Drain()
+	p.drainReuse()
+}
 
 // maybeStall yields the processor (several times, approximating losing a
 // scheduling quantum) on every stallEvery-th call, while the caller holds

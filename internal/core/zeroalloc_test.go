@@ -1,0 +1,133 @@
+package flock
+
+import (
+	"testing"
+)
+
+// Allocation regression pins for the zero-allocation commit path
+// (DESIGN.md S10). These use testing.AllocsPerRun over steady-state
+// loops (pools warmed first), so a change that reintroduces per-commit
+// wrappers, interface boxing, or fresh descriptors/boxes fails loudly
+// rather than silently regressing the hot path.
+
+// warm runs f enough times for freelists to fill and slice capacities
+// to stabilize.
+func warm(n int, f func()) {
+	for i := 0; i < n; i++ {
+		f()
+	}
+}
+
+// TestAllocsLockFreeCommittedLoad pins the full lock-free read path: a
+// TryLock whose thunk performs one committed load. Steady state must be
+// allocation-free (descriptor from the freelist, the box pointer
+// committed directly into the log slot, the lock-state boxes recycled).
+// The same loop with NoPool must allocate at least 2x as much — the
+// acceptance bar for the pooled commit path.
+func TestAllocsLockFreeCommittedLoad(t *testing.T) {
+	measure := func(opts ...Option) float64 {
+		rt := New(opts...)
+		p := rt.Register()
+		defer p.Unregister()
+		var l Lock
+		var m Mutable[uint64]
+		m.Init(7)
+		var sink uint64
+		f := func(hp *Proc) bool {
+			sink = m.Load(hp)
+			return true
+		}
+		op := func() {
+			p.Begin()
+			l.TryLock(p, f)
+			p.End()
+		}
+		warm(2000, op)
+		_ = sink
+		return testing.AllocsPerRun(500, op)
+	}
+	pooled := measure()
+	fresh := measure(NoPool())
+	if pooled > 0.5 {
+		t.Errorf("lock-free committed load: %v allocs/op pooled, want ~0", pooled)
+	}
+	if fresh < 1.0 {
+		t.Errorf("GC-fresh committed load: %v allocs/op, expected at least 1 (is the ablation arm wired?)", fresh)
+	}
+	if fresh < 2*pooled {
+		t.Errorf("pooling must reduce allocs >=2x: pooled %v vs fresh %v", pooled, fresh)
+	}
+	t.Logf("committed load: pooled %.3f allocs/op, GC-fresh %.3f allocs/op", pooled, fresh)
+}
+
+// TestAllocsBlockingRead pins the blocking-mode read at exactly zero:
+// no descriptor, no logging, shared static lock boxes.
+func TestAllocsBlockingRead(t *testing.T) {
+	rt := New(Blocking())
+	p := rt.Register()
+	defer p.Unregister()
+	var l Lock
+	var m Mutable[uint64]
+	m.Init(3)
+	var sink uint64
+	f := func(hp *Proc) bool {
+		sink = m.Load(hp)
+		return true
+	}
+	op := func() {
+		p.Begin()
+		l.TryLock(p, f)
+		p.End()
+	}
+	warm(200, op)
+	_ = sink
+	if got := testing.AllocsPerRun(500, op); got != 0 {
+		t.Errorf("blocking read allocates %v per op, must stay 0", got)
+	}
+}
+
+// TestAllocsTryLockInsert pins an insert-shaped critical section: an
+// idempotent Allocate of a fresh node, linked in with a Store, with the
+// displaced node retired. The node itself is real payload (1 alloc);
+// everything the lock-free machinery adds on top must come from the
+// pools, and the NoPool arm must cost at least 2x.
+func TestAllocsTryLockInsert(t *testing.T) {
+	type node struct {
+		key  uint64
+		next *node
+	}
+	measure := func(opts ...Option) float64 {
+		rt := New(opts...)
+		p := rt.Register()
+		defer p.Unregister()
+		var l Lock
+		var head Mutable[*node]
+		var k uint64
+		f := func(hp *Proc) bool {
+			k++
+			kk := k
+			old := head.Load(hp)
+			n := Allocate(hp, func() *node { return &node{key: kk, next: nil} })
+			head.Store(hp, n)
+			Retire(hp, old, nil)
+			return true
+		}
+		op := func() {
+			p.Begin()
+			l.TryLock(p, f)
+			p.End()
+		}
+		warm(2000, op)
+		return testing.AllocsPerRun(500, op)
+	}
+	pooled := measure()
+	fresh := measure(NoPool())
+	// Pooled budget: the node payload plus amortized slack, nothing else.
+	if pooled > 1.5 {
+		t.Errorf("TryLock insert: %v allocs/op pooled, want ~1 (the node)", pooled)
+	}
+	if fresh < 2*pooled {
+		t.Errorf("pooling must reduce insert allocs >=2x: pooled %v vs fresh %v", pooled, fresh)
+	}
+	t.Logf("TryLock insert: pooled %.3f allocs/op, GC-fresh %.3f allocs/op", pooled, fresh)
+}

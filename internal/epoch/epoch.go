@@ -222,13 +222,15 @@ func (m *Manager) TryAdvance() bool {
 	return m.global.CompareAndSwap(g, g+1)
 }
 
-// safeBefore returns the epoch bound below which retired batches may be
-// reclaimed. A batch retired in epoch r is safe once every active guard
-// announced an epoch strictly greater than r: such guards entered after
-// the global epoch passed r, hence after the unlink that preceded the
-// retire, so they can never have found the object. With no active guards,
-// everything retired before the current epoch is safe.
-func (m *Manager) safeBefore() uint64 {
+// SafeBefore returns the epoch bound below which retired objects may be
+// reclaimed — or reused. An object retired in epoch r is safe once every
+// active guard announced an epoch strictly greater than r: such guards
+// entered after the global epoch passed r, hence after the unlink that
+// preceded the retire, so they can never have found the object. With no
+// active guards, everything retired before the current epoch is safe.
+// Exported so the flock core can gate pooled object reuse on the same
+// grace period that gates reclamation (its DESIGN.md S10 invariant).
+func (m *Manager) SafeBefore() uint64 {
 	min := m.minAnnounced()
 	if min == Quiescent {
 		return m.global.Load()
@@ -238,7 +240,7 @@ func (m *Manager) safeBefore() uint64 {
 
 // reclaim runs the slot's ripe batches.
 func (s *Slot) reclaim() {
-	bound := s.mgr.safeBefore()
+	bound := s.mgr.SafeBefore()
 	i := 0
 	for ; i < len(s.pending); i++ {
 		if s.pending[i].epoch >= bound {

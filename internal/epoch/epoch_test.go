@@ -340,3 +340,38 @@ func BenchmarkRetire(b *testing.B) {
 	b.StopTimer()
 	s.Drain()
 }
+
+// TestSafeBeforeBounds pins the exported reuse bound: with no active
+// guards it equals the global epoch; with a guard open it equals the
+// minimum announcement (including announcements lowered by helpers), so
+// objects retired at or after that announcement are never handed out
+// for reuse while the guard is open.
+func TestSafeBeforeBounds(t *testing.T) {
+	m := NewManager()
+	if got := m.SafeBefore(); got != m.GlobalEpoch() {
+		t.Fatalf("quiescent SafeBefore = %d, want global %d", got, m.GlobalEpoch())
+	}
+	s := m.Register()
+	q := m.Register()
+	q.Enter()
+	announced := q.Announced()
+	// Force the global ahead of the guard's announcement.
+	for i := 0; i < 3; i++ {
+		s.Enter()
+		s.Exit()
+		m.TryAdvance()
+	}
+	if got := m.SafeBefore(); got != announced {
+		t.Fatalf("SafeBefore = %d with guard announced at %d", got, announced)
+	}
+	// A helper lowered below the guard's epoch drags the bound down too.
+	prev := q.Lower(announced - 1)
+	if got := m.SafeBefore(); got != announced-1 {
+		t.Fatalf("SafeBefore = %d with lowered announcement %d", got, announced-1)
+	}
+	q.Restore(prev)
+	q.Exit()
+	if got := m.SafeBefore(); got != m.GlobalEpoch() {
+		t.Fatalf("SafeBefore = %d after guard exit, want global %d", got, m.GlobalEpoch())
+	}
+}

@@ -53,21 +53,24 @@ func DefaultScale() Scale {
 
 // Series names one line in a figure. Shards applies to the KV (YCSB)
 // figures: 0 means "use Scale.Shards", 1 is the unsharded control.
+// NoPool selects the GC-fresh ablation arm (flock structures only).
 type Series struct {
 	Name      string
 	Structure string
 	Blocking  bool
 	HashKeys  bool
 	Shards    int
+	NoPool    bool
 }
 
-// Point is one measured figure point, with tail-latency percentiles
-// alongside the paper's throughput metric.
+// Point is one measured figure point, with tail-latency percentiles and
+// allocations per operation alongside the paper's throughput metric.
 type Point struct {
 	Series string
 	X      string
 	Mops   float64
 	Std    float64
+	Allocs float64 // heap allocations per operation
 	P50    time.Duration
 	P95    time.Duration
 	P99    time.Duration
@@ -196,6 +199,7 @@ func figSpecs() []FigureSpec {
 			Structure: s.Structure,
 			Blocking:  s.Blocking,
 			HashKeys:  s.HashKeys,
+			NoPool:    s.NoPool,
 			Duration:  sc.Duration,
 			Seed:      sc.Seed,
 		}
@@ -387,6 +391,35 @@ func figSpecs() []FigureSpec {
 				return sp
 			},
 		},
+		{
+			// Extension (not a paper figure): the §6 memory-management
+			// ablation. The paper's thunk machinery is practical only
+			// because log/descriptor overhead stays near zero; this
+			// figure reads out the allocs/op column for the pooled
+			// commit path (default), the GC-fresh path (NoPool — the
+			// repository's pre-pooling behaviour) and blocking mode
+			// (which never allocates descriptors or log entries), at
+			// increasing update rates. Throughput rides along so the
+			// pooling win is visible as both fewer allocations and more
+			// Mop/s.
+			ID:     "ext-alloc",
+			Paper:  "Extension: allocations per operation — pooled vs GC-fresh vs blocking, update sweep",
+			XLabel: "update %",
+			Series: []Series{
+				{Name: "leaftree-lf-pooled", Structure: "leaftree"},
+				{Name: "leaftree-lf-fresh", Structure: "leaftree", NoPool: true},
+				{Name: "leaftree-bl", Structure: "leaftree", Blocking: true},
+				{Name: "hashtable-lf-pooled", Structure: "hashtable"},
+				{Name: "hashtable-lf-fresh", Structure: "hashtable", NoPool: true},
+				{Name: "hashtable-bl", Structure: "hashtable", Blocking: true},
+			},
+			Xs: func(Scale) []string { return []string{"0", "10", "50"} },
+			SpecFor: func(sc Scale, s Series, x string) Spec {
+				sp := base(sc, s)
+				sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.SmallKeys, sc.Base, atoi(x), 0.75
+				return sp
+			},
+		},
 	}
 	// Extension: YCSB mixes against the sharded KV layer (DESIGN.md S9).
 	// Thread sweeps for workloads A, B, C and F, plus a shard sweep:
@@ -471,7 +504,8 @@ func RunFigure(fs FigureSpec, sc Scale) (Figure, error) {
 			}
 			fig.Points = append(fig.Points, Point{
 				Series: s.Name, X: x, Mops: st.Mops, Std: st.Std,
-				P50: st.P50, P95: st.P95, P99: st.P99,
+				Allocs: st.AllocsPerOp,
+				P50:    st.P50, P95: st.P95, P99: st.P99,
 			})
 		}
 	}

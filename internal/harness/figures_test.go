@@ -1,6 +1,10 @@
 package harness
 
-import "testing"
+import (
+	"math"
+	"testing"
+	"time"
+)
 
 func TestAtofAtoiParse(t *testing.T) {
 	if atof("0.75") != 0.75 || atof("0") != 0 {
@@ -85,5 +89,63 @@ func TestYCSBFigureSeriesShards(t *testing.T) {
 		if spec.Threads != sc.Over {
 			t.Fatalf("shard sweep should run oversubscribed (%d), got %d", sc.Over, spec.Threads)
 		}
+	}
+}
+
+// TestExtAllocFigureWiring pins the allocation-ablation spec: the fresh
+// arm really disables pooling on the built runtime, the pooled and
+// blocking arms keep it, and a measured point carries the allocs/op
+// metric through Result and Stats.
+func TestExtAllocFigureWiring(t *testing.T) {
+	sc := DefaultScale()
+	figs := Figures()
+	fa, ok := figs["ext-alloc"]
+	if !ok {
+		t.Fatal("ext-alloc missing")
+	}
+	var sawFresh, sawPooled, sawBlocking bool
+	for _, s := range fa.Series {
+		spec := fa.SpecFor(sc, s, "10")
+		if spec.NoPool != s.NoPool || spec.UpdatePct != 10 {
+			t.Fatalf("series %s: bad spec %+v", s.Name, spec)
+		}
+		_, rt, err := NewInstance(spec)
+		if err != nil {
+			t.Fatalf("series %s: %v", s.Name, err)
+		}
+		if rt.Pooling() == spec.NoPool {
+			t.Fatalf("series %s: runtime pooling=%v with NoPool=%v", s.Name, rt.Pooling(), spec.NoPool)
+		}
+		switch {
+		case s.NoPool:
+			sawFresh = true
+		case s.Blocking:
+			sawBlocking = true
+		default:
+			sawPooled = true
+		}
+	}
+	if !sawFresh || !sawPooled || !sawBlocking {
+		t.Fatalf("ext-alloc must cover pooled, GC-fresh and blocking arms (got %v %v %v)",
+			sawPooled, sawFresh, sawBlocking)
+	}
+
+	spec := fa.SpecFor(sc, fa.Series[0], "10")
+	spec.KeyRange = 256
+	spec.Threads = 2
+	spec.Duration = 5 * time.Millisecond
+	res, err := RunTimed(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || math.IsNaN(res.AllocsPerOp) || res.AllocsPerOp < 0 {
+		t.Fatalf("allocs/op not recorded: ops=%d allocs=%v", res.Ops, res.AllocsPerOp)
+	}
+	st, err := RunStats(spec, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(st.AllocsPerOp) || st.AllocsPerOp < 0 {
+		t.Fatalf("Stats.AllocsPerOp not aggregated: %v", st.AllocsPerOp)
 	}
 }

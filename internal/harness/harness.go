@@ -93,15 +93,23 @@ type Spec struct {
 	// Shards is the kv.Store shard count for the YCSB path (values < 1
 	// mean 1, the unsharded control). Ignored when YCSB is empty.
 	Shards int
+	// NoPool disables the flock core's descriptor/log-block/mbox
+	// pooling (the GC-fresh arm of the ext-alloc ablation). Ignored by
+	// the non-flock baselines.
+	NoPool bool
 }
 
 // Result is one measured point. Hist is the merged per-operation
 // latency histogram (always recorded; log-bucketed, see LatencyHist).
+// AllocsPerOp is the heap-allocation count per completed operation over
+// the measured window (runtime.MemStats.Mallocs delta / Ops) — the
+// metric the pooled commit path is designed to drive to zero.
 type Result struct {
-	Ops     uint64
-	Elapsed time.Duration
-	Mops    float64
-	Hist    *LatencyHist
+	Ops         uint64
+	Elapsed     time.Duration
+	Mops        float64
+	AllocsPerOp float64
+	Hist        *LatencyHist
 }
 
 // P50 returns the median per-op latency (0 on an empty histogram).
@@ -121,7 +129,11 @@ func NewInstance(spec Spec) (set.Set, *flock.Runtime, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("harness: unknown structure %q (have %v)", spec.Structure, Structures())
 	}
-	rt := flock.New()
+	var opts []flock.Option
+	if spec.NoPool {
+		opts = append(opts, flock.NoPool())
+	}
+	rt := flock.New(opts...)
 	rt.SetBlocking(spec.Blocking)
 	return f(rt, spec.KeyRange), rt, nil
 }
@@ -213,6 +225,7 @@ func NewKVInstance(spec Spec) (*kv.Store, error) {
 	return kv.New(kv.Factory(f), kv.Options{
 		Shards:   spec.Shards,
 		Blocking: spec.Blocking,
+		NoPool:   spec.NoPool,
 		KeyRange: spec.KeyRange,
 	}), nil
 }
@@ -319,12 +332,18 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 		}(w)
 	}
 	ready.Wait()
+	// Allocation accounting brackets exactly the measured window: worker
+	// setup (registration, zipf zeta sums) happened before begin(), and
+	// ReadMemStats itself runs outside the window.
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	t0 := time.Now()
 	close(start)
 	time.Sleep(spec.Duration)
 	stop.Store(true)
 	wg.Wait()
 	el := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
 
 	merged := NewLatencyHist()
 	for _, h := range hists {
@@ -336,19 +355,24 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 		}
 	}
 	ops := total.Load()
-	return Result{
+	res := Result{
 		Ops:     ops,
 		Elapsed: el,
 		Mops:    float64(ops) / el.Seconds() / 1e6,
 		Hist:    merged,
-	}, nil
+	}
+	if ops > 0 {
+		res.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(ops)
+	}
+	return res, nil
 }
 
 // Stats summarizes repeated runs of one spec: throughput mean and
-// standard deviation, plus latency percentiles from the histograms
-// merged across the measured repetitions.
+// standard deviation, latency percentiles from the histograms merged
+// across the measured repetitions, and mean allocations per operation.
 type Stats struct {
 	Mops, Std     float64
+	AllocsPerOp   float64
 	P50, P95, P99 time.Duration
 }
 
@@ -365,15 +389,18 @@ func RunStats(spec Spec, warmup, repeats int) (Stats, error) {
 	}
 	vals := make([]float64, 0, repeats)
 	merged := NewLatencyHist()
+	var allocs float64
 	for i := 0; i < repeats; i++ {
 		r, err := RunTimed(spec)
 		if err != nil {
 			return Stats{}, err
 		}
 		vals = append(vals, r.Mops)
+		allocs += r.AllocsPerOp
 		merged.Merge(r.Hist)
 	}
 	var st Stats
+	st.AllocsPerOp = allocs / float64(repeats)
 	for _, v := range vals {
 		st.Mops += v
 	}

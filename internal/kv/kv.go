@@ -34,6 +34,9 @@ type Options struct {
 	Shards int
 	// Blocking selects the lock mode of every shard's runtime.
 	Blocking bool
+	// NoPool disables descriptor/log-block/mbox pooling on every
+	// shard's runtime (the GC-fresh ablation arm; see flock.NoPool).
+	NoPool bool
 	// KeyRange is a sizing hint: the expected total number of distinct
 	// keys, split evenly across shards when sizing each structure
 	// (hashtable bucket arrays, for example). 0 defaults to 1<<16.
@@ -69,7 +72,11 @@ func New(f Factory, opt Options) *Store {
 	perShard := kr/uint64(n) + 1
 	st := &Store{shards: make([]shard, n), native: true}
 	for i := range st.shards {
-		rt := flock.New()
+		var fopts []flock.Option
+		if opt.NoPool {
+			fopts = append(fopts, flock.NoPool())
+		}
+		rt := flock.New(fopts...)
 		rt.SetBlocking(opt.Blocking)
 		s := f(rt, perShard)
 		up, _ := s.(set.Upserter)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -55,6 +56,16 @@ func TestFigureSpecsSmoke(t *testing.T) {
 			if res.Hist.Count() != res.Ops {
 				t.Errorf("%s series %s at x=%s: %d ops but %d latency samples",
 					id, s.Name, x, res.Ops, res.Hist.Count())
+			}
+			// The allocation metric must be populated (the latency
+			// histogram itself allocates nothing inside the window, so
+			// a NaN/zero-ops hole here means the MemStats bracketing
+			// regressed). The ≥2x pooled-vs-fresh property is pinned
+			// precisely by internal/core's AllocsPerRun tests; runs
+			// here are too short to assert ratios stably.
+			if id == "ext-alloc" && (math.IsNaN(res.AllocsPerOp) || res.AllocsPerOp < 0) {
+				t.Errorf("%s series %s at x=%s: bad allocs/op %v",
+					id, s.Name, x, res.AllocsPerOp)
 			}
 		}
 	}
