@@ -47,9 +47,14 @@ var workerSeq atomic.Uint64
 
 // benchPoint measures one figure point: b.N operations spread over
 // spec.Threads parallel workers against a prefilled structure (or a
-// prefilled kv.Store for YCSB specs).
+// prefilled kv.Store for YCSB specs, or a prefilled txn.Store for
+// transactional specs).
 func benchPoint(b *testing.B, spec harness.Spec) {
 	b.Helper()
+	if spec.TxnMix != "" {
+		benchTxnPoint(b, spec)
+		return
+	}
 	if spec.YCSB != "" {
 		benchKVPoint(b, spec)
 		return
@@ -126,6 +131,40 @@ func benchKVPoint(b *testing.B, spec harness.Spec) {
 	}
 }
 
+// benchTxnPoint is benchPoint for the transactional figures.
+func benchTxnPoint(b *testing.B, spec harness.Spec) {
+	b.Helper()
+	st, err := harness.NewTxnInstance(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	harness.PrefillKV(st.KV(), spec)
+	st.SetStallInjection(spec.StallEvery)
+	b.SetParallelism(spec.Threads)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := st.Register()
+		defer c.Close()
+		mix, err := workload.NewTxnMix(spec.TxnMix, spec.KeyRange, spec.Alpha,
+			spec.TxnSize, spec.Seed+workerSeq.Add(1)*0x9e3779b9)
+		if err != nil {
+			panic(err) // spec already validated by NewTxnInstance
+		}
+		var vbuf []uint64
+		var n uint64
+		for pb.Next() {
+			op, keys := mix.Next()
+			vbuf = harness.ApplyTxnOp(c, op, keys, n, vbuf)
+			n++
+		}
+	})
+	b.StopTimer()
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(b.N)/el/1e6, "Mops")
+	}
+}
+
 // benchFigure expands a figure spec into sub-benchmarks.
 func benchFigure(b *testing.B, id string) {
 	sc := benchScale()
@@ -167,6 +206,13 @@ func Benchmark_ExtStall(b *testing.B) { benchFigure(b, "ext-stall") }
 // vs GC-fresh vs blocking, with -benchmem/ReportAllocs giving the
 // per-operation allocation counts the figure's allocs/op column plots.
 func Benchmark_ExtAlloc(b *testing.B) { benchFigure(b, "ext-alloc") }
+
+// The transactional extension figures (DESIGN.md S11): multi-key
+// atomic operations via composed lock-free locks, vs the blocking and
+// non-atomic ablation arms.
+
+func Benchmark_ExtTxn(b *testing.B)     { benchFigure(b, "ext-txn") }
+func Benchmark_ExtTxnKeys(b *testing.B) { benchFigure(b, "ext-txn-keys") }
 
 // The KV-layer YCSB extension figures (DESIGN.md S9).
 

@@ -40,6 +40,19 @@
 //	flockbench -figure ext-alloc
 //	flockbench -structure leaftree -threads 16 -nopool
 //
+// The transactional extension (DESIGN.md S11) — multi-key atomic
+// operations over the sharded store via composed lock-free locks;
+// blocking and non-atomic ablation arms ride the same flags:
+//
+//	flockbench -figure ext-txn
+//	flockbench -structure leaftree -txn transfer -shards 8 -threads 16
+//	flockbench -structure leaftree -txn ycsbt -txnsize 8 -nonatomic
+//
+// Enumerate every figure id with its series names (and the structure
+// registry) without running anything:
+//
+//	flockbench -list
+//
 // Machine-readable capture (one JSON record per point, JSONL):
 //
 //	flockbench -figure all -json > BENCH_all.json
@@ -59,8 +72,8 @@ import (
 
 func main() {
 	var (
-		figure    = flag.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-alloc, ext-ycsb-{a,b,c,f,shards}, or 'all')")
-		list      = flag.Bool("list", false, "list figures and structures")
+		figure    = flag.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-alloc, ext-txn, ext-txn-keys, ext-ycsb-{a,b,c,f,shards}, or 'all')")
+		list      = flag.Bool("list", false, "list figure ids with their series names, and structures")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonOut   = flag.Bool("json", false, "emit one JSON record per point (JSONL) with Mops and latency percentiles")
 		largeKeys = flag.Uint64("largekeys", 0, "override the 'large' key range (paper: 100M)")
@@ -82,7 +95,10 @@ func main() {
 		hashKeys  = flag.Bool("hashkeys", false, "single-point: sparsify keys by hashing")
 		stall     = flag.Int("stall", 0, "single-point: inject a deschedule every N critical sections")
 		ycsb      = flag.String("ycsb", "", "single-point: run a YCSB workload (a, b, c, f) against the sharded KV store")
-		shards    = flag.Int("shards", 0, "KV shard count (single-point -ycsb, and the default for ext-ycsb figures)")
+		txnMix    = flag.String("txn", "", "single-point: run a transactional workload (transfer, ycsbt) against the txn layer")
+		txnSize   = flag.Int("txnsize", 2, "single-point: keys per multi-key transaction (-txn)")
+		nonAtomic = flag.Bool("nonatomic", false, "single-point: per-key non-atomic arm of the txn layer (-txn)")
+		shards    = flag.Int("shards", 0, "KV shard count (single-point -ycsb/-txn, and the default for ext-ycsb/ext-txn figures)")
 		seed      = flag.Uint64("seed", 42, "workload seed")
 	)
 	flag.Parse()
@@ -91,7 +107,10 @@ func main() {
 		fmt.Println("figures:")
 		figs := harness.Figures()
 		for _, id := range harness.FigureIDs() {
-			fmt.Printf("  %-6s %s\n", id, figs[id].Paper)
+			fmt.Printf("  %-16s %s\n", id, figs[id].Paper)
+			for _, s := range figs[id].Series {
+				fmt.Printf("    %s\n", s.Name)
+			}
 		}
 		fmt.Println("structures:")
 		for _, s := range harness.Structures() {
@@ -161,21 +180,24 @@ func main() {
 		}
 	case *structure != "":
 		spec := harness.Spec{
-			Structure:  *structure,
-			Blocking:   *blocking,
-			Threads:    *threads,
-			KeyRange:   *keys,
-			UpdatePct:  *update,
-			Alpha:      *alpha,
-			HashKeys:   *hashKeys,
-			NoPool:     *noPool,
-			Duration:   orDefault(sc.Duration, 500*time.Millisecond),
-			Seed:       *seed,
-			StallEvery: *stall,
-			YCSB:       *ycsb,
-			Shards:     *shards,
+			Structure:    *structure,
+			Blocking:     *blocking,
+			Threads:      *threads,
+			KeyRange:     *keys,
+			UpdatePct:    *update,
+			Alpha:        *alpha,
+			HashKeys:     *hashKeys,
+			NoPool:       *noPool,
+			Duration:     orDefault(sc.Duration, 500*time.Millisecond),
+			Seed:         *seed,
+			StallEvery:   *stall,
+			YCSB:         *ycsb,
+			TxnMix:       *txnMix,
+			TxnSize:      *txnSize,
+			TxnNonAtomic: *nonAtomic,
+			Shards:       *shards,
 		}
-		if spec.YCSB != "" && spec.Shards < 1 {
+		if (spec.YCSB != "" || spec.TxnMix != "") && spec.Shards < 1 {
 			spec.Shards = 1
 		}
 		st, err := harness.RunStats(spec, sc.Warmup, sc.Repeats)
@@ -193,6 +215,12 @@ func main() {
 		mode := ""
 		if *ycsb != "" {
 			mode = fmt.Sprintf(" ycsb=%s shards=%d", *ycsb, spec.Shards)
+		}
+		if *txnMix != "" {
+			mode = fmt.Sprintf(" txn=%s size=%d shards=%d", *txnMix, spec.TxnSize, spec.Shards)
+			if *nonAtomic {
+				mode += " nonatomic"
+			}
 		}
 		if *noPool {
 			mode += " nopool"

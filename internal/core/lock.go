@@ -151,10 +151,12 @@ func (l *Lock) tryLockBlocking(p *Proc, f Thunk) bool {
 	if !l.state.b.CompareAndSwap(bx, blockedBox) {
 		return false
 	}
-	if p.blk == nil {
-		p.maybeStall()
+	p.bdepth++
+	if p.bdepth == 1 {
+		p.maybeStall() // outermost acquisition only, as in lock-free mode
 	}
 	res := f(p)
+	p.bdepth--
 	l.state.b.Store(unblockedBox)
 	return res
 }
@@ -169,10 +171,12 @@ func (l *Lock) lockBlocking(p *Proc, f Thunk) bool {
 		bx := l.state.b.Load()
 		if bx == nil || !bx.v.locked {
 			if l.state.b.CompareAndSwap(bx, blockedBox) {
-				if p.blk == nil {
-					p.maybeStall()
+				p.bdepth++
+				if p.bdepth == 1 {
+					p.maybeStall() // outermost acquisition only
 				}
 				res := f(p)
+				p.bdepth--
 				l.state.b.Store(unblockedBox)
 				return res
 			}

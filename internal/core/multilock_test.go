@@ -1,0 +1,244 @@
+package flock
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// These tests pin the property internal/txn is built on: TryLock
+// acquisitions on several locks of one Runtime compose when nested in a
+// fixed (sorted) order inside one thunk, and the composed critical
+// section stays atomic under helping, stall injection and
+// oversubscription. The counters live in Mutables so all reads and
+// writes go through the log; results escape through idempotent atomic
+// stores, per the determinism rules.
+
+// multiAcquire nests TryLock calls on locks[idx[0]], locks[idx[1]], ...
+// (idx must be in a globally consistent order) and runs body innermost.
+// It reports whether the whole chain was acquired.
+func multiAcquire(p *Proc, locks []Lock, idx []int, body func(hp *Proc)) bool {
+	var nest func(hp *Proc, i int) bool
+	nest = func(hp *Proc, i int) bool {
+		if i == len(idx) {
+			body(hp)
+			return true
+		}
+		return locks[idx[i]].TryLock(hp, func(hp2 *Proc) bool {
+			return nest(hp2, i+1)
+		})
+	}
+	return nest(p, 0)
+}
+
+// TestNestedOrderedAcquisitionAtomic runs composed two-lock transfers
+// against whole-set snapshot readers: every snapshot (itself a composed
+// all-lock acquisition) must observe the conserved sum.
+func TestNestedOrderedAcquisitionAtomic(t *testing.T) {
+	for _, blocking := range []bool{false, true} {
+		name := "lockfree"
+		if blocking {
+			name = "blocking"
+		}
+		t.Run(name, func(t *testing.T) {
+			rt := New()
+			rt.SetBlocking(blocking)
+			const nCells = 6
+			const initial = uint64(1000)
+			locks := make([]Lock, nCells)
+			cells := make([]Mutable[uint64], nCells)
+			{
+				p := rt.Register()
+				for i := range cells {
+					cells[i].Init(initial)
+				}
+				p.Unregister()
+			}
+			if !blocking {
+				rt.SetStallInjection(25)
+			}
+
+			const workers = 8
+			const opsPer = 300
+			var snapshots atomic.Uint64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					p := rt.Register()
+					defer p.Unregister()
+					rng := rand.New(rand.NewSource(int64(w)*271 + 1))
+					for i := 0; i < opsPer; i++ {
+						if rng.Intn(4) == 0 {
+							// Snapshot: acquire every lock in order, sum.
+							all := make([]int, nCells)
+							for j := range all {
+								all[j] = j
+							}
+							var sum atomic.Uint64
+							for {
+								p.Begin()
+								ok := multiAcquire(p, locks, all, func(hp *Proc) {
+									s := uint64(0)
+									for j := range cells {
+										s += cells[j].Load(hp)
+									}
+									sum.Store(s) // same in every run: loads are logged
+								})
+								p.End()
+								if ok {
+									break
+								}
+							}
+							if got := sum.Load(); got != nCells*initial {
+								t.Errorf("snapshot sum %d, want %d (torn composed transfer)", got, nCells*initial)
+								return
+							}
+							snapshots.Add(1)
+							continue
+						}
+						// Transfer between two distinct cells, locks in
+						// ascending index order.
+						a, b := rng.Intn(nCells), rng.Intn(nCells)
+						if a == b {
+							continue
+						}
+						lo, hi := a, b
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						amt := uint64(rng.Intn(5) + 1)
+						for {
+							p.Begin()
+							ok := multiAcquire(p, locks, []int{lo, hi}, func(hp *Proc) {
+								va := cells[a].Load(hp)
+								if va < amt {
+									return // logged decision: every run agrees
+								}
+								vb := cells[b].Load(hp)
+								cells[a].Store(hp, va-amt)
+								cells[b].Store(hp, vb+amt)
+							})
+							p.End()
+							if ok {
+								break
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if snapshots.Load() == 0 {
+				t.Fatal("no snapshots taken; the invariant was never checked")
+			}
+			p := rt.Register()
+			defer p.Unregister()
+			var sum uint64
+			for j := range cells {
+				sum += cells[j].Load(p)
+			}
+			if sum != nCells*initial {
+				t.Fatalf("final sum %d, want %d", sum, nCells*initial)
+			}
+		})
+	}
+}
+
+// TestStallInjectionCountsOncePerComposedSection pins fairness of the
+// deschedule injection across modes: a composed acquisition nesting N
+// locks must tick the stall counter once per operation — at the
+// outermost level — in blocking mode just as in lock-free mode, so the
+// ext-txn stall figures compare equal fault-injection rates.
+func TestStallInjectionCountsOncePerComposedSection(t *testing.T) {
+	for _, blocking := range []bool{false, true} {
+		name := "lockfree"
+		if blocking {
+			name = "blocking"
+		}
+		t.Run(name, func(t *testing.T) {
+			rt := New()
+			rt.SetBlocking(blocking)
+			rt.SetStallInjection(1 << 30) // count ticks, never actually yield
+			locks := make([]Lock, 3)
+			p := rt.Register()
+			defer p.Unregister()
+			const ops = 10
+			for i := 0; i < ops; i++ {
+				p.Begin()
+				ok := multiAcquire(p, locks, []int{0, 1, 2}, func(*Proc) {})
+				p.End()
+				if !ok {
+					t.Fatal("uncontended composed acquisition failed")
+				}
+			}
+			if got := p.stalls; got != ops {
+				t.Fatalf("%d stall ticks for %d 3-lock operations, want %d (one per outermost acquisition)",
+					got, ops, ops)
+			}
+		})
+	}
+}
+
+// TestNestedAcquisitionHelpedToCompletion pins the helping contract the
+// transactional layer relies on: when the owner of a composed two-lock
+// critical section is parked mid-acquisition, another Proc that
+// try-locks the outer lock completes the owner's entire nested thunk —
+// both cell writes — before reporting failure.
+func TestNestedAcquisitionHelpedToCompletion(t *testing.T) {
+	rt := New()
+	locks := make([]Lock, 2)
+	var a, b Mutable[uint64]
+	setup := rt.Register()
+	a.Init(1)
+	b.Init(1)
+	setup.Unregister()
+
+	owner := rt.Register()
+	defer owner.Unregister()
+	helper := rt.Register()
+	defer helper.Unregister()
+
+	release := make(chan struct{})
+	published := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		owner.Begin()
+		defer owner.End()
+		locks[0].TryLock(owner, func(hp *Proc) bool {
+			return locks[1].TryLock(hp, func(hp2 *Proc) bool {
+				// First run only: the commit points below are logged, so
+				// a helper's replay performs the same writes.
+				if hp2 == owner {
+					close(published)
+					<-release // park while holding both locks
+				}
+				a.Store(hp2, 2)
+				b.Store(hp2, 2)
+				return true
+			})
+		})
+	}()
+	<-published
+
+	// The owner is parked inside the innermost thunk. A TryLock on the
+	// OUTER lock must help the whole composed section to completion.
+	helper.Begin()
+	got := locks[0].TryLock(helper, func(*Proc) bool { return true })
+	helper.End()
+	if got {
+		t.Fatal("helper acquired a lock the owner still holds")
+	}
+	va := a.b.Load().v
+	vb := b.b.Load().v
+	if va != 2 || vb != 2 {
+		t.Fatalf("after helping, cells = (%d,%d), want (2,2): nested thunk not completed", va, vb)
+	}
+	close(release)
+	<-done
+}

@@ -95,6 +95,13 @@ type Proc struct {
 	slot   *epoch.Slot
 	rng    uint64
 	stalls uint32 // acquisitions since the last injected stall
+	// bdepth is the blocking-mode critical-section nesting depth. In
+	// lock-free mode "top level" is p.blk == nil, but blocking mode has
+	// no log, so nested blocking acquisitions (composed transactions)
+	// need their own depth gate — otherwise stall injection would fire
+	// at every nesting level in blocking mode but only once per
+	// operation in lock-free mode, biasing the ext-txn comparisons.
+	bdepth int
 
 	// Object pools (see pool.go). dfree/bfree hold clean descriptors and
 	// spill blocks; pools holds per-type mbox freelists; pending holds

@@ -52,8 +52,10 @@ func DefaultScale() Scale {
 }
 
 // Series names one line in a figure. Shards applies to the KV (YCSB)
-// figures: 0 means "use Scale.Shards", 1 is the unsharded control.
-// NoPool selects the GC-fresh ablation arm (flock structures only).
+// and transactional figures: 0 means "use Scale.Shards", 1 is the
+// unsharded control. NoPool selects the GC-fresh ablation arm (flock
+// structures only); NonAtomic selects the per-key no-shard-lock arm of
+// the transactional figures.
 type Series struct {
 	Name      string
 	Structure string
@@ -61,6 +63,7 @@ type Series struct {
 	HashKeys  bool
 	Shards    int
 	NoPool    bool
+	NonAtomic bool
 }
 
 // Point is one measured figure point, with tail-latency percentiles and
@@ -158,6 +161,20 @@ var (
 		{Name: "kv-leaftree-lf", Structure: "leaftree", Blocking: false},
 		{Name: "kv-leaftree-bl", Structure: "leaftree", Blocking: true},
 		{Name: "kv-hashtable-lf", Structure: "hashtable", Blocking: false},
+	}
+
+	// Extension: the transactional layer (internal/txn, DESIGN.md S11).
+	// Three arms per structure: composed lock-free try-locks, the same
+	// composition over blocking locks, and the naive per-key non-atomic
+	// baseline (which is fast but tears multi-writes — throughput it
+	// buys by not being a transaction at all).
+	txnSeries = []Series{
+		{Name: "txn-leaftree-lf", Structure: "leaftree"},
+		{Name: "txn-leaftree-bl", Structure: "leaftree", Blocking: true},
+		{Name: "txn-leaftree-na", Structure: "leaftree", NonAtomic: true},
+		{Name: "txn-hashtable-lf", Structure: "hashtable"},
+		{Name: "txn-hashtable-bl", Structure: "hashtable", Blocking: true},
+		{Name: "txn-hashtable-na", Structure: "hashtable", NonAtomic: true},
 	}
 
 	alphas  = []string{"0", "0.75", "0.9", "0.99"}
@@ -460,6 +477,50 @@ func figSpecs() []FigureSpec {
 			},
 		})
 	}
+	// Extension: multi-key atomic transactions (DESIGN.md S11). The
+	// composability claim measured: blocking vs lock-free composed
+	// shard locks vs the non-atomic per-key baseline, under the
+	// SmallBank-style transfer mix (thread sweep) and the YCSB-T-like
+	// mix (keys-per-transaction sweep — more keys, more shards locked
+	// per composed critical section).
+	txnSpec := func(sc Scale, s Series, mix string, threads, size int) Spec {
+		shards := s.Shards
+		if shards == 0 {
+			shards = sc.Shards
+		}
+		return Spec{
+			Structure:    s.Structure,
+			Blocking:     s.Blocking,
+			TxnNonAtomic: s.NonAtomic,
+			Threads:      threads,
+			KeyRange:     sc.SmallKeys,
+			Alpha:        0.99,
+			Duration:     sc.Duration,
+			Seed:         sc.Seed,
+			TxnMix:       mix,
+			TxnSize:      size,
+			Shards:       shards,
+		}
+	}
+	specs = append(specs, FigureSpec{
+		ID:     "ext-txn",
+		Paper:  "Extension: transfer-mix transactions on the txn layer, zipfian 0.99, thread sweep",
+		XLabel: "threads",
+		Series: txnSeries,
+		Xs:     threadsXs,
+		SpecFor: func(sc Scale, s Series, x string) Spec {
+			return txnSpec(sc, s, "transfer", atoi(x), 2)
+		},
+	}, FigureSpec{
+		ID:     "ext-txn-keys",
+		Paper:  "Extension: YCSB-T-like transactions, zipfian 0.99, keys-per-transaction sweep",
+		XLabel: "keys/txn",
+		Series: txnSeries,
+		Xs:     func(Scale) []string { return []string{"1", "2", "4", "8", "16"} },
+		SpecFor: func(sc Scale, s Series, x string) Spec {
+			return txnSpec(sc, s, "ycsbt", sc.Base, atoi(x))
+		},
+	})
 	specs = append(specs, FigureSpec{
 		ID:     "ext-ycsb-shards",
 		Paper:  "Extension: YCSB-A on the KV store, oversubscribed threads, zipfian 0.99, shard sweep",

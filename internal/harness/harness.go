@@ -30,6 +30,7 @@ import (
 	"flock/internal/structures/leaftreap"
 	"flock/internal/structures/leaftree"
 	"flock/internal/structures/set"
+	"flock/internal/txn"
 	"flock/internal/workload"
 )
 
@@ -58,6 +59,38 @@ var registry = map[string]Factory{
 	"natarajan":  func(*flock.Runtime, uint64) set.Set { return natarajan.New() },
 	"ellen":      func(*flock.Runtime, uint64) set.Set { return ellen.New() },
 	"olcart":     func(*flock.Runtime, uint64) set.Set { return olcart.New() },
+}
+
+// txnCapable lists the registry structures the transactional layer may
+// be built over: flock structures whose updates use simply-nested
+// try-locks, so their operations are loggable thunk code that replays
+// deterministically inside a composed transaction (DESIGN.md S11). The
+// non-flock baselines bypass the runtime log entirely (a helper's
+// replay would re-apply their writes non-idempotently), and the
+// "-strict" variants acquire strict locks, which are not simply nested
+// (§4); both would silently corrupt transactional atomicity.
+var txnCapable = map[string]bool{
+	"lazylist":  true,
+	"dlist":     true,
+	"hashtable": true,
+	"leaftree":  true,
+	"leaftreap": true,
+	"abtree":    true,
+	"arttree":   true,
+	"couplist":  true,
+}
+
+// TxnCapableStructures returns the sorted names of the structures the
+// transactional layer may be built over. internal/txn's conformance
+// tests iterate this list, so vouching for a structure here without
+// suite coverage fails the build rather than shipping silently.
+func TxnCapableStructures() []string {
+	var out []string
+	for s := range txnCapable {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Structures returns the sorted registry keys.
@@ -97,6 +130,19 @@ type Spec struct {
 	// pooling (the GC-fresh arm of the ext-alloc ablation). Ignored by
 	// the non-flock baselines.
 	NoPool bool
+	// TxnMix, when nonempty ("transfer" or "ycsbt"), selects the
+	// transactional path: multi-key atomic operations against a
+	// txn.Store of Shards shards built over Structure (DESIGN.md S11).
+	// Takes precedence over YCSB.
+	TxnMix string
+	// TxnSize is the number of keys per multi-key transaction on the
+	// transactional path (values < 1 mean 1; transfers always touch 2).
+	TxnSize int
+	// TxnNonAtomic selects the per-key non-atomic ablation arm of the
+	// transactional path (no shard locks; kv batch behaviour). When
+	// false the arm follows Blocking: composed blocking locks vs
+	// composed lock-free locks.
+	TxnNonAtomic bool
 }
 
 // Result is one measured point. Hist is the merged per-operation
@@ -172,10 +218,14 @@ func Prefill(s set.Set, rt *flock.Runtime, spec Spec) {
 }
 
 // RunTimed builds, prefills and measures one spec: the paper's set mix
-// when spec.YCSB is empty, the sharded-KV YCSB path otherwise. Every
-// operation's latency is recorded into a per-worker log-bucketed
-// histogram; the merged histogram rides along in the Result.
+// by default, the sharded-KV YCSB path when spec.YCSB is set, and the
+// transactional path when spec.TxnMix is set. Every operation's latency
+// is recorded into a per-worker log-bucketed histogram; the merged
+// histogram rides along in the Result.
 func RunTimed(spec Spec) (Result, error) {
+	if spec.TxnMix != "" {
+		return runTimedTxn(spec)
+	}
 	if spec.YCSB != "" {
 		return runTimedKV(spec)
 	}
@@ -290,6 +340,106 @@ func runTimedKV(spec Spec) (Result, error) {
 			default:
 				c.Get(k)
 			}
+			hist.Record(time.Since(t0))
+			n++
+		}
+		return n, nil
+	})
+}
+
+// NewTxnInstance builds the transactional store for a TxnMix spec
+// (exported for the root benchmarks, which drive their own worker
+// loops). The mode follows the spec: TxnNonAtomic wins, then Blocking.
+func NewTxnInstance(spec Spec) (*txn.Store, error) {
+	f, ok := registry[spec.Structure]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown structure %q (have %v)", spec.Structure, Structures())
+	}
+	if !txnCapable[spec.Structure] {
+		return nil, fmt.Errorf("harness: structure %q cannot back the txn layer (its operations are not simply-nested flock thunks; use one of %v)",
+			spec.Structure, TxnCapableStructures())
+	}
+	if _, err := workload.NewTxnMix(spec.TxnMix, spec.KeyRange, spec.Alpha, spec.TxnSize, spec.Seed); err != nil {
+		return nil, err
+	}
+	mode := txn.LockFree
+	if spec.Blocking {
+		mode = txn.Blocking
+	}
+	if spec.TxnNonAtomic {
+		mode = txn.NonAtomic
+	}
+	return txn.New(kv.Factory(f), txn.Options{
+		Shards:   spec.Shards,
+		Mode:     mode,
+		NoPool:   spec.NoPool,
+		KeyRange: spec.KeyRange,
+	}), nil
+}
+
+// txnIncrement is the pure TxnFunc behind the TxnRMW mix operation:
+// increment every key in the read set (upserting absent keys at 1).
+// Callers outside the package go through ApplyTxnOp, the shared
+// dispatch, so this stays unexported.
+func txnIncrement(vals []uint64, oks []bool) ([]uint64, bool) {
+	out := make([]uint64, len(vals))
+	for i := range vals {
+		out[i] = vals[i] + 1
+	}
+	return out, true
+}
+
+// ApplyTxnOp applies one generated transaction to the client — the
+// single dispatch both the harness driver and the root benchmarks use,
+// so the two can never silently measure different operations for the
+// same mix. n is the worker's operation counter (salts write values);
+// vbuf is a reusable scratch for write values (the client copies its
+// inputs) and the possibly-grown scratch is returned. Unknown kinds
+// panic: a new TxnOp must be wired here, not absorbed as a read.
+func ApplyTxnOp(c *txn.Client, op workload.TxnOp, keys []uint64, n uint64, vbuf []uint64) []uint64 {
+	switch op {
+	case workload.TxnRead:
+		c.MultiGet(keys)
+	case workload.TxnWrite:
+		vbuf = vbuf[:0]
+		for _, k := range keys {
+			vbuf = append(vbuf, k+n)
+		}
+		c.MultiPut(keys, vbuf)
+	case workload.TxnTransfer:
+		c.Transfer(keys[0], keys[1], 1)
+	case workload.TxnRMW:
+		c.Txn(keys, keys, txnIncrement)
+	default:
+		panic(fmt.Sprintf("harness: unhandled TxnOp %v", op))
+	}
+	return vbuf
+}
+
+// runTimedTxn measures one transactional point against a txn.Store.
+func runTimedTxn(spec Spec) (Result, error) {
+	st, err := NewTxnInstance(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	PrefillKV(st.KV(), spec)
+	st.SetStallInjection(spec.StallEvery)
+
+	return measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
+		c := st.Register()
+		defer c.Close()
+		mix, err := workload.NewTxnMix(spec.TxnMix, spec.KeyRange, spec.Alpha,
+			spec.TxnSize, spec.Seed+uint64(w)*0x9e3779b9)
+		if err != nil {
+			return 0, err
+		}
+		var vbuf []uint64 // ApplyTxnOp's write-value scratch
+		begin()
+		var n uint64
+		for !stop.Load() {
+			op, keys := mix.Next()
+			t0 := time.Now()
+			vbuf = ApplyTxnOp(c, op, keys, n, vbuf)
 			hist.Record(time.Since(t0))
 			n++
 		}

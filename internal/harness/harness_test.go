@@ -157,12 +157,58 @@ func TestRunAveragedStats(t *testing.T) {
 	}
 }
 
+// TestRunTimedTxn measures a miniature transactional point in every
+// arm (lock-free, blocking, non-atomic): the full driver path — store
+// build, prefill, mix, composed multi-key operations, latency samples.
+func TestRunTimedTxn(t *testing.T) {
+	for _, arm := range []struct {
+		name      string
+		blocking  bool
+		nonatomic bool
+	}{{"lockfree", false, false}, {"blocking", true, false}, {"nonatomic", false, true}} {
+		arm := arm
+		t.Run(arm.name, func(t *testing.T) {
+			res, err := RunTimed(Spec{
+				Structure: "leaftree", Blocking: arm.blocking, TxnNonAtomic: arm.nonatomic,
+				Threads: 3, KeyRange: 256, Alpha: 0.75, Duration: 15 * time.Millisecond,
+				Seed: 7, TxnMix: "transfer", TxnSize: 2, Shards: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("zero transactions completed")
+			}
+			if res.Hist.Count() != res.Ops {
+				t.Fatalf("%d ops but %d latency samples", res.Ops, res.Hist.Count())
+			}
+		})
+	}
+	if _, err := RunTimed(Spec{
+		Structure: "leaftree", Threads: 1, KeyRange: 64, Duration: time.Millisecond,
+		TxnMix: "nope", Shards: 1,
+	}); err == nil {
+		t.Fatal("unknown txn mix accepted")
+	}
+	// Structures whose operations are not simply-nested flock thunks
+	// (baselines, strict-lock variants) must be refused: replaying them
+	// inside a composed transaction would silently break atomicity.
+	for _, s := range []string{"olcart", "natarajan", "leaftree-strict"} {
+		if _, err := NewTxnInstance(Spec{
+			Structure: s, Threads: 1, KeyRange: 64, Duration: time.Millisecond,
+			TxnMix: "transfer", TxnSize: 2, Shards: 1,
+		}); err == nil {
+			t.Fatalf("txn layer over %s accepted; it cannot be made atomic", s)
+		}
+	}
+}
+
 func TestFigureIndexComplete(t *testing.T) {
 	figs := Figures()
 	want := []string{"fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
 		"fig5f", "fig5g", "fig5h", "fig6a", "fig6b", "fig7a", "fig7b", "ext-stall",
-		"ext-alloc", "ext-ycsb-a", "ext-ycsb-b", "ext-ycsb-c", "ext-ycsb-f",
-		"ext-ycsb-shards"}
+		"ext-alloc", "ext-txn", "ext-txn-keys", "ext-ycsb-a", "ext-ycsb-b",
+		"ext-ycsb-c", "ext-ycsb-f", "ext-ycsb-shards"}
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures, want %d", len(figs), len(want))
 	}

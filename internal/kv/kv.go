@@ -13,6 +13,13 @@
 // other structures they fall back to delete-then-insert, which is
 // documented as non-atomic under contention (NativeUpsert reports which
 // regime a store is in).
+//
+// Two extension points serve the transactional layer (internal/txn):
+// Options.SharedRuntime routes every shard through one flock.Runtime so
+// cross-shard thunks compose soundly, and each shard carries a
+// flock.Lock handle (ShardLock) that transactions acquire — nested, in
+// ascending shard order — around the Shard* operations. Plain Client
+// operations take neither.
 package kv
 
 import (
@@ -41,13 +48,31 @@ type Options struct {
 	// keys, split evenly across shards when sizing each structure
 	// (hashtable bucket arrays, for example). 0 defaults to 1<<16.
 	KeyRange uint64
+	// SharedRuntime routes every shard through one flock.Runtime
+	// instead of a private runtime per shard. A shared runtime is what
+	// makes cross-shard composed critical sections sound: nested
+	// TryLock acquisitions spanning shards then share one epoch manager
+	// (helpers' guards protect memory retired on any shard) and one
+	// mode flag (all runs of a composed thunk agree on lock-free vs
+	// blocking). internal/txn requires it; plain KV serving prefers
+	// per-shard runtimes, which keep reclamation and helping local.
+	SharedRuntime bool
 }
 
-// shard is one partition: a private runtime plus a structure bound to it.
+// shard is one partition: a runtime (private, or shared by every shard
+// under Options.SharedRuntime), a structure bound to it, and a shard
+// lock used by internal/txn to compose cross-shard critical sections.
+// Plain single-key and batch operations never touch the shard lock.
 type shard struct {
 	rt *flock.Runtime
 	s  set.Set
 	up set.Upserter // nil when s has no native upsert
+	// lck serializes transactional access to this shard (internal/txn
+	// acquires the locks of every touched shard in ascending index
+	// order, nested, inside one composed thunk). It lives here, with
+	// the shard, so the lock handle and the structure it protects have
+	// one owner.
+	lck flock.Lock
 }
 
 // Store is a sharded concurrent KV store. Create clients with Register;
@@ -55,6 +80,7 @@ type shard struct {
 type Store struct {
 	shards []shard
 	native bool
+	rt     *flock.Runtime // non-nil iff Options.SharedRuntime
 	// clients counts live handles (monitoring/tests only).
 	clients atomic.Int64
 }
@@ -71,13 +97,20 @@ func New(f Factory, opt Options) *Store {
 	}
 	perShard := kr/uint64(n) + 1
 	st := &Store{shards: make([]shard, n), native: true}
+	var fopts []flock.Option
+	if opt.NoPool {
+		fopts = append(fopts, flock.NoPool())
+	}
+	if opt.SharedRuntime {
+		st.rt = flock.New(fopts...)
+		st.rt.SetBlocking(opt.Blocking)
+	}
 	for i := range st.shards {
-		var fopts []flock.Option
-		if opt.NoPool {
-			fopts = append(fopts, flock.NoPool())
+		rt := st.rt
+		if rt == nil {
+			rt = flock.New(fopts...)
+			rt.SetBlocking(opt.Blocking)
 		}
-		rt := flock.New(fopts...)
-		rt.SetBlocking(opt.Blocking)
 		s := f(rt, perShard)
 		up, _ := s.(set.Upserter)
 		if up == nil {
@@ -87,6 +120,17 @@ func New(f Factory, opt Options) *Store {
 	}
 	return st
 }
+
+// Runtime returns the store-wide runtime when the store was built with
+// Options.SharedRuntime, and nil for per-shard-runtime stores.
+func (st *Store) Runtime() *flock.Runtime { return st.rt }
+
+// ShardLock returns shard i's lock handle. It is the composition point
+// for internal/txn: multi-shard critical sections nest TryLock calls on
+// these handles in ascending shard order. Meaningful serialization
+// against other lock holders only; plain Client operations do not
+// acquire it.
+func (st *Store) ShardLock(i int) *flock.Lock { return &st.shards[i].lck }
 
 // NumShards returns the shard count.
 func (st *Store) NumShards() int { return len(st.shards) }
@@ -127,20 +171,42 @@ type Client struct {
 }
 
 // Register creates a client, registering a worker context with every
-// shard's runtime.
+// shard's runtime (one shared Proc when the store has a shared
+// runtime).
 func (st *Store) Register() *Client {
 	c := &Client{st: st, procs: make([]*flock.Proc, len(st.shards))}
-	for i := range st.shards {
-		c.procs[i] = st.shards[i].rt.Register()
+	if st.rt != nil {
+		p := st.rt.Register()
+		for i := range c.procs {
+			c.procs[i] = p
+		}
+	} else {
+		for i := range st.shards {
+			c.procs[i] = st.shards[i].rt.Register()
+		}
 	}
 	st.clients.Add(1)
 	return c
 }
 
+// SharedProc returns the client's single Proc on a shared-runtime
+// store. It panics on per-shard-runtime stores, where no one Proc is
+// valid across shards.
+func (c *Client) SharedProc() *flock.Proc {
+	if c.st.rt == nil {
+		panic("kv: SharedProc on a store without Options.SharedRuntime")
+	}
+	return c.procs[0]
+}
+
 // Close unregisters the client from every shard.
 func (c *Client) Close() {
-	for _, p := range c.procs {
-		p.Unregister()
+	if c.st.rt != nil {
+		c.procs[0].Unregister()
+	} else {
+		for _, p := range c.procs {
+			p.Unregister()
+		}
 	}
 	c.st.clients.Add(-1)
 }
@@ -181,6 +247,31 @@ func put(sh *shard, p *flock.Proc, k, v uint64) (inserted bool) {
 func (c *Client) Put(k, v uint64) bool {
 	sh, p := c.route(k)
 	return put(sh, p, k, v)
+}
+
+// The Shard* operations run one key's operation on a known shard with
+// an explicit Proc. They exist for internal/txn, whose composed
+// critical sections execute on whichever Proc is running the thunk (the
+// owner's or a helper's) rather than on a registered Client's. The
+// caller is responsible for routing (ShardOf) and, in transactional
+// use, for holding the relevant shard locks.
+
+// ShardGet looks up k on shard i with Proc p.
+func (st *Store) ShardGet(i int, p *flock.Proc, k uint64) (uint64, bool) {
+	return st.shards[i].s.Find(p, k)
+}
+
+// ShardPut upserts (k, v) on shard i with Proc p, reporting whether k
+// was newly inserted. Inside a composed thunk the report is
+// deterministic across helper runs (it flows from logged loads), which
+// is what lets transactions publish insert counts idempotently.
+func (st *Store) ShardPut(i int, p *flock.Proc, k, v uint64) bool {
+	return put(&st.shards[i], p, k, v)
+}
+
+// ShardDelete removes k on shard i with Proc p.
+func (st *Store) ShardDelete(i int, p *flock.Proc, k uint64) bool {
+	return st.shards[i].s.Delete(p, k)
 }
 
 // Delete removes k and reports whether it was present.

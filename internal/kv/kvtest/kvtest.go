@@ -52,6 +52,7 @@ func Run(t *testing.T, f kv.Factory) {
 				t.Run("SequentialModel", func(t *testing.T) { sequentialModel(t, f, opt) })
 				t.Run("MutexMapDifferential", func(t *testing.T) { mutexMapDifferential(t, f, opt) })
 				t.Run("Batches", func(t *testing.T) { batches(t, f, opt) })
+				t.Run("BatchOrdering", func(t *testing.T) { batchOrdering(t, f, opt) })
 				t.Run("Oversubscribed", func(t *testing.T) { oversubscribed(t, f, opt) })
 				native := kv.New(f, opt).NativeUpsert()
 				if native {
@@ -286,6 +287,69 @@ func batches(t *testing.T, f kv.Factory, opt kv.Options) {
 		if gotDel := c.DeleteBatch(delKeys); gotDel != wantDel {
 			t.Fatalf("round %d: DeleteBatch removed %d, want %d", round, gotDel, wantDel)
 		}
+	}
+}
+
+// batchOrdering is the result-ordering conformance pass: batches
+// execute shard-grouped (not in input order), but their results must
+// still line up with the input — GetBatch's vals[i]/oks[i] belong to
+// keys[i], duplicate keys in a GetBatch all answer, and duplicate keys
+// in a PutBatch resolve to the *input-order-last* value (shard-grouped
+// visiting is index-stable within a shard, and this pins that contract).
+func batchOrdering(t *testing.T, f kv.Factory, opt kv.Options) {
+	st := kv.New(f, opt)
+	c := st.Register()
+	defer c.Close()
+
+	// Keys deliberately interleaved across shards: consecutive input
+	// indices land on different shards, so shard-grouped execution
+	// visits them far from input order.
+	keys := make([]uint64, 0, 64)
+	for i := 0; i < 32; i++ {
+		keys = append(keys, uint64(1000+i), uint64(5000+31-i))
+	}
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i) * 10
+	}
+	if ins := c.PutBatch(keys, vals); ins != len(keys) {
+		t.Fatalf("PutBatch inserted %d, want %d", ins, len(keys))
+	}
+	gv, gok := c.GetBatch(keys)
+	if len(gv) != len(keys) || len(gok) != len(keys) {
+		t.Fatalf("GetBatch lengths %d/%d, want %d", len(gv), len(gok), len(keys))
+	}
+	for i := range keys {
+		if !gok[i] || gv[i] != vals[i] {
+			t.Fatalf("GetBatch[%d] (key %d) = (%d,%v), want (%d,true): results misaligned with input order",
+				i, keys[i], gv[i], gok[i], vals[i])
+		}
+	}
+
+	// Duplicates in a PutBatch: every occurrence targets one shard, and
+	// the input-order-last value must survive.
+	dupKeys := []uint64{77, 1000, 77, 5000, 77}
+	dupVals := []uint64{1, 2, 3, 4, 5}
+	if ins := c.PutBatch(dupKeys, dupVals); ins != 1 { // only 77 is new
+		t.Fatalf("duplicate PutBatch inserted %d, want 1", ins)
+	}
+	dv, dok := c.GetBatch([]uint64{77, 77})
+	if !dok[0] || !dok[1] || dv[0] != 5 || dv[1] != 5 {
+		t.Fatalf("duplicate key 77 = (%d,%v)/(%d,%v), want (5,true) twice (input-order-last write wins)",
+			dv[0], dok[0], dv[1], dok[1])
+	}
+
+	// Duplicates in GetBatch and DeleteBatch: every input position gets
+	// an answer; deleting a duplicate counts its presence once.
+	if del := c.DeleteBatch([]uint64{77, 77, 1000}); del != 2 {
+		t.Fatalf("DeleteBatch removed %d, want 2 (duplicate present once)", del)
+	}
+	gv2, gok2 := c.GetBatch([]uint64{77, 1000, 5000})
+	if gok2[0] || gok2[1] || !gok2[2] {
+		t.Fatalf("post-delete presence (%v,%v,%v), want (false,false,true)", gok2[0], gok2[1], gok2[2])
+	}
+	if gv2[2] != 4 { // written by the duplicate batch above
+		t.Fatalf("key 5000 = %d, want 4", gv2[2])
 	}
 }
 

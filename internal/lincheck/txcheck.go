@@ -1,0 +1,196 @@
+package lincheck
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// This file extends the checker to multi-key transactional histories
+// (internal/txn): a TxOp is one completed multi-key operation —
+// MultiGet, MultiPut, MultiCAS, Transfer, or a generic Txn — whose
+// reads and writes must all take effect at a single serialization
+// point. Set histories decompose per key (lincheck.Check); transactions
+// are exactly the histories that do NOT decompose, so CheckTx runs
+// Wing-Gong over whole-map states instead. Histories should stay modest
+// (hundreds of transactions over a small key set): the memoized search
+// is exponential in the worst case, but real recorded histories from
+// txntest's workloads check in milliseconds.
+
+// KVObs is one key's observation (read) or effect (write) within a
+// transaction.
+type KVObs struct {
+	Key uint64
+	Val uint64
+	// Ok is the observed presence for reads; writes ignore it (every
+	// write in this API is an upsert).
+	Ok bool
+}
+
+// TxOp is one completed multi-key operation with its observation
+// window (Start/End from the same global-counter discipline as Op).
+//
+// A committed transaction (FailedCAS=false) is legal at a
+// serialization point iff every Reads entry matches the state there;
+// its Writes then apply. A failed MultiCAS (FailedCAS=true) is legal
+// iff at least one Reads entry does NOT match the state — Reads then
+// holds the expected values the operation compared against — and it
+// changes nothing. Aborted generic transactions are recorded the same
+// way only when their abort condition is a pure all-reads-match
+// predicate; otherwise record them as read-only committed ops
+// (Writes=nil) so their observed reads are still checked.
+type TxOp struct {
+	Reads     []KVObs
+	Writes    []KVObs
+	FailedCAS bool
+	Start     int64
+	End       int64
+	Worker    int
+}
+
+// txStep reports whether tx is legal from state, and applies its writes
+// in place when it is (the caller owns state's mutability).
+func txStep(state map[uint64]cell, tx TxOp) bool {
+	if tx.FailedCAS {
+		for _, r := range tx.Reads {
+			c := state[r.Key]
+			if !c.present || c.val != r.Val {
+				return true // a mismatch exists: the failure is explained
+			}
+		}
+		return false // everything matched; the CAS could not have failed
+	}
+	for _, r := range tx.Reads {
+		c := state[r.Key]
+		if c.present != r.Ok || (r.Ok && c.val != r.Val) {
+			return false
+		}
+	}
+	for _, w := range tx.Writes {
+		state[w.Key] = cell{present: true, val: w.Val}
+	}
+	return true
+}
+
+// CheckTx verifies that the transactional history has a legal
+// sequential witness starting from the empty map: an order consistent
+// with the real-time windows in which every committed transaction's
+// reads and writes are mutually atomic. A torn multi-write — a snapshot
+// that observed part of another transaction's write set — has no
+// witness and is rejected.
+func CheckTx(history []TxOp) CheckResult {
+	ops := append([]TxOp(nil), history...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+	n := len(ops)
+	if n == 0 {
+		return CheckResult{Ok: true}
+	}
+	// Key universe, for state serialization.
+	keySet := map[uint64]bool{}
+	for _, op := range ops {
+		for _, r := range op.Reads {
+			keySet[r.Key] = true
+		}
+		for _, w := range op.Writes {
+			keySet[w.Key] = true
+		}
+	}
+	keys := make([]uint64, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	state := map[uint64]cell{}
+	serial := func(done bitset) string {
+		buf := make([]byte, 0, len(done)*8+len(keys)*9)
+		var w [8]byte
+		for _, word := range done {
+			binary.LittleEndian.PutUint64(w[:], word)
+			buf = append(buf, w[:]...)
+		}
+		// The reachable states are a function of the done-set for a
+		// fixed history, but including the state keeps the memo sound
+		// if that ever ceases to hold (and it is cheap at these sizes).
+		for _, k := range keys {
+			c := state[k]
+			if c.present {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+			binary.LittleEndian.PutUint64(w[:], c.val)
+			buf = append(buf, w[:]...)
+		}
+		return string(buf)
+	}
+
+	seen := map[string]bool{}
+	var dfs func(done bitset, nDone int) bool
+	dfs = func(done bitset, nDone int) bool {
+		if nDone == n {
+			return true
+		}
+		mk := serial(done)
+		if seen[mk] {
+			return false
+		}
+		seen[mk] = true
+		// Real-time pruning, as in checkKey: only transactions invoked
+		// before every pending response may serialize next.
+		minEnd := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if !done.get(i) && ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done.get(i) {
+				continue
+			}
+			if ops[i].Start > minEnd {
+				break
+			}
+			tx := ops[i]
+			writes := tx.Writes
+			if tx.FailedCAS {
+				writes = nil // failed CAS ops never apply their writes
+			}
+			// Save displaced cells for undo.
+			prev := make([]cell, len(writes))
+			had := make([]bool, len(writes))
+			for j, w := range writes {
+				prev[j], had[j] = state[w.Key]
+			}
+			if txStep(state, tx) {
+				if dfs(done.with(i), nDone+1) {
+					return true
+				}
+				// Undo in reverse so duplicate write keys restore the
+				// oldest displaced cell last.
+				for j := len(writes) - 1; j >= 0; j-- {
+					if had[j] {
+						state[writes[j].Key] = prev[j]
+					} else {
+						delete(state, writes[j].Key)
+					}
+				}
+			}
+		}
+		return false
+	}
+	if dfs(newBitset(n), 0) {
+		return CheckResult{Ok: true}
+	}
+	// Report the smallest key involved, for debuggability.
+	bad := keys[0]
+	count := 0
+	for _, op := range ops {
+		for _, r := range op.Reads {
+			if r.Key == bad {
+				count++
+				break
+			}
+		}
+	}
+	return CheckResult{Ok: false, BadKey: bad, BadCount: count}
+}

@@ -1,0 +1,186 @@
+package lincheck
+
+import "testing"
+
+// Shorthands for building TxOp histories.
+func robs(kvs ...uint64) []KVObs { // key, val, key, val, ... all present
+	var out []KVObs
+	for i := 0; i+1 < len(kvs); i += 2 {
+		out = append(out, KVObs{Key: kvs[i], Val: kvs[i+1], Ok: true})
+	}
+	return out
+}
+
+func absent(keys ...uint64) []KVObs {
+	var out []KVObs
+	for _, k := range keys {
+		out = append(out, KVObs{Key: k})
+	}
+	return out
+}
+
+func writes(kvs ...uint64) []KVObs { return robs(kvs...) }
+
+// TestCheckTxTable drives the transactional checker through hand-built
+// histories for every multi-key operation kind.
+func TestCheckTxTable(t *testing.T) {
+	// setup writes a=10, b=0 before anything else (window [1,2]).
+	setup := TxOp{Writes: writes(1, 10, 2, 0), Start: 1, End: 2}
+
+	cases := []struct {
+		name string
+		hist []TxOp
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{
+			"multiput then consistent multiget",
+			[]TxOp{
+				{Writes: writes(1, 7, 2, 8), Start: 1, End: 2},
+				{Reads: robs(1, 7, 2, 8), Start: 3, End: 4},
+			},
+			true,
+		},
+		{
+			"torn multiput observed",
+			// The atomicity violation of record: MultiPut(a=1, b=1)
+			// completed, then a snapshot saw a written but b absent.
+			[]TxOp{
+				{Writes: writes(1, 1, 2, 1), Start: 1, End: 4},
+				{Reads: append(robs(1, 1), absent(2)...), Start: 5, End: 6},
+			},
+			false,
+		},
+		{
+			"overlapping multiput may order either way",
+			// The snapshot overlaps the put, so both orders are legal
+			// witnesses; seeing neither write is fine.
+			[]TxOp{
+				{Writes: writes(1, 1, 2, 1), Start: 1, End: 6},
+				{Reads: absent(1, 2), Start: 2, End: 3},
+			},
+			true,
+		},
+		{
+			"transfer conserves the snapshot",
+			[]TxOp{
+				setup,
+				{Reads: robs(1, 10, 2, 0), Writes: writes(1, 4, 2, 6), Start: 3, End: 4},
+				{Reads: robs(1, 4, 2, 6), Start: 5, End: 6},
+			},
+			true,
+		},
+		{
+			"torn transfer: debit visible, credit missing",
+			[]TxOp{
+				setup,
+				{Reads: robs(1, 10, 2, 0), Writes: writes(1, 4, 2, 6), Start: 3, End: 4},
+				{Reads: robs(1, 4, 2, 0), Start: 5, End: 6},
+			},
+			false,
+		},
+		{
+			"transfer read must match the state it debits",
+			// The transfer claims it observed a=9, but only a=10 ever
+			// existed before it.
+			[]TxOp{
+				setup,
+				{Reads: robs(1, 9, 2, 0), Writes: writes(1, 3, 2, 6), Start: 3, End: 4},
+			},
+			false,
+		},
+		{
+			"failed multicas explained by a mismatch",
+			[]TxOp{
+				setup,
+				{Reads: robs(1, 999, 2, 0), FailedCAS: true, Start: 3, End: 4},
+			},
+			true,
+		},
+		{
+			"failed multicas with nothing to explain it",
+			// Both expectations match the only reachable state, so the
+			// reported failure is impossible.
+			[]TxOp{
+				setup,
+				{Reads: robs(1, 10, 2, 0), FailedCAS: true, Start: 3, End: 4},
+			},
+			false,
+		},
+		{
+			"successful multicas is a read-guarded write",
+			[]TxOp{
+				setup,
+				{Reads: robs(1, 10), Writes: writes(1, 20), Start: 3, End: 4},
+				{Reads: robs(1, 20, 2, 0), Start: 5, End: 6},
+			},
+			true,
+		},
+		{
+			"concurrent transfers serialize in some order",
+			// Two overlapping transfers of 3 and 4 out of a=10 into
+			// b=0; a final snapshot sees the sum conserved.
+			[]TxOp{
+				setup,
+				{Reads: robs(1, 10, 2, 0), Writes: writes(1, 7, 2, 3), Start: 3, End: 8},
+				{Reads: robs(1, 7, 2, 3), Writes: writes(1, 3, 2, 7), Start: 4, End: 9},
+				{Reads: robs(1, 3, 2, 7), Start: 10, End: 11},
+			},
+			true,
+		},
+		{
+			"sum violated even though each key once held its value",
+			// a=7 was real (after transfer 1) and b=7 was real (after
+			// transfer 2), but no single point had both.
+			[]TxOp{
+				setup,
+				{Reads: robs(1, 10, 2, 0), Writes: writes(1, 7, 2, 3), Start: 3, End: 8},
+				{Reads: robs(1, 7, 2, 3), Writes: writes(1, 3, 2, 7), Start: 4, End: 9},
+				{Reads: robs(1, 7, 2, 7), Start: 10, End: 11},
+			},
+			false,
+		},
+		{
+			"real-time order is enforced across transactions",
+			// The snapshot finished before the put began, so it cannot
+			// be serialized after it.
+			[]TxOp{
+				{Reads: robs(1, 5), Start: 1, End: 2},
+				{Writes: writes(1, 5), Start: 3, End: 4},
+			},
+			false,
+		},
+		{
+			"duplicate write keys: last write in the set wins",
+			[]TxOp{
+				{Writes: []KVObs{{Key: 1, Val: 1}, {Key: 1, Val: 2}}, Start: 1, End: 2},
+				{Reads: robs(1, 2), Start: 3, End: 4},
+			},
+			true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := CheckTx(tc.hist)
+			if res.Ok != tc.ok {
+				t.Fatalf("CheckTx = %v, want ok=%v", res, tc.ok)
+			}
+		})
+	}
+}
+
+// TestCheckTxUndoRestoresState exercises the DFS backtracking: a
+// history whose first serialization guess must fail and be undone
+// before the witness is found.
+func TestCheckTxUndoRestoresState(t *testing.T) {
+	// Two overlapping writers of key 1 and a later read that pins the
+	// surviving value: the checker must try (and undo) the wrong order.
+	hist := []TxOp{
+		{Writes: writes(1, 100), Start: 1, End: 10},
+		{Writes: writes(1, 200), Start: 2, End: 11},
+		{Reads: robs(1, 100), Start: 12, End: 13},
+	}
+	if res := CheckTx(hist); !res.Ok {
+		t.Fatalf("order requiring backtracking rejected: %v", res)
+	}
+}

@@ -1,0 +1,456 @@
+// Package txn provides multi-key atomic transactions over a sharded
+// kv.Store, built by *composing* lock-free locks — the capability the
+// paper holds up as the decisive advantage of lock-based lock-free code
+// over bespoke lock-free structures (§4): critical sections written as
+// idempotent thunks nest, so a multi-lock operation is just a thunk
+// that acquires more try-locks inside.
+//
+// A transaction touching keys on shards {s1 < s2 < ... < sk} acquires
+// the per-shard locks (kv.Store.ShardLock) by nesting TryLock calls in
+// ascending shard order and runs all of its reads and writes in the
+// innermost thunk. The sort order makes lock acquisition conflict-
+// serializable and livelock-resistant (no cycle of transactions each
+// holding a lower lock while wanting a higher one), and the flock
+// runtime makes the whole composition lock-free end to end: a thread
+// that finds a shard lock held helps the holder complete its *entire*
+// transaction — including the holder's nested acquisitions and
+// structure operations on other shards — before retrying its own.
+// Within a shard, structure operations keep taking their own fine-
+// grained entry locks as further nesting levels, exactly as they do
+// outside transactions.
+//
+// The store must route all shards through one flock.Runtime
+// (kv.Options.SharedRuntime, which New sets): helpers of a composed
+// thunk need one epoch manager protecting memory retired on any shard,
+// and one mode flag all runs agree on.
+//
+// # Determinism rules for composed thunks
+//
+// Every rule that applies to a thunk applies to a whole transaction
+// body, because the body *is* a thunk:
+//
+//   - A TxnFunc must be pure: helpers re-run it, and every run must
+//     compute the same writes from the same (logged, therefore
+//     identical) read values.
+//   - Results escape a thunk only through idempotent channels. The
+//     implementation publishes read values, insert counts and the
+//     commit/abort decision through per-attempt atomic buffers that
+//     every run overwrites with the same values.
+//   - Key and value slices are defensively copied per operation:
+//     a straggling helper may replay a completed transaction after the
+//     caller has already reused its buffers, and a replay must see the
+//     original, stable inputs (DESIGN.md S7/S11).
+//
+// Per-shard locking trades intra-shard concurrency for cross-shard
+// atomicity; shard count recovers parallelism. The Blocking and
+// NonAtomic modes keep the same API as ablation arms: Blocking runs the
+// identical composition over test-and-set locks (no helping — a
+// descheduled holder stalls every conflicting transaction), and
+// NonAtomic issues per-key operations with no shard locks at all (the
+// kv batch behaviour: torn multi-writes are observable).
+package txn
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	flock "flock/internal/core"
+	"flock/internal/kv"
+	"flock/internal/workload"
+)
+
+// Mode selects a store's concurrency-control arm.
+type Mode int
+
+// The three arms of the ext-txn ablation.
+const (
+	// LockFree composes per-shard lock-free try-locks: atomic,
+	// deadlock-free by sort order, helpers complete stalled
+	// transactions.
+	LockFree Mode = iota
+	// Blocking runs the same composed acquisition over blocking
+	// test-and-set locks: atomic, but a stalled holder blocks every
+	// conflicting transaction for its whole deschedule.
+	Blocking
+	// NonAtomic applies per-key operations without shard locks — the
+	// naive baseline whose multi-key operations can be torn by
+	// concurrent transactions.
+	NonAtomic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case LockFree:
+		return "lockfree"
+	case Blocking:
+		return "blocking"
+	default:
+		return "nonatomic"
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the kv shard count; values < 1 mean 1.
+	Shards int
+	// Mode selects the concurrency-control arm.
+	Mode Mode
+	// KeyRange is the kv sizing hint (see kv.Options.KeyRange).
+	KeyRange uint64
+	// NoPool disables the runtime's object pooling (ablation arm).
+	NoPool bool
+}
+
+// Store is a transactional wrapper around a sharded kv.Store. All
+// shards share one runtime. Create per-goroutine handles with Register.
+type Store struct {
+	kv   *kv.Store
+	mode Mode
+}
+
+// New builds a transactional store whose shards each hold a fresh
+// structure from f (the same factories the harness registry and kv
+// use). f must build a flock structure whose updates use simply-nested
+// try-locks (leaftree, hashtable, lazylist, ...): transactions run the
+// structure's operations inside a composed thunk, so those operations
+// must be loggable, deterministically replayable thunk code. Non-flock
+// baselines (which ignore the runtime) and strict-lock variants would
+// silently break atomicity under helping — the harness refuses them
+// (see its txnCapable set).
+func New(f kv.Factory, opt Options) *Store {
+	st := kv.New(f, kv.Options{
+		Shards:        opt.Shards,
+		Blocking:      opt.Mode == Blocking,
+		NoPool:        opt.NoPool,
+		KeyRange:      opt.KeyRange,
+		SharedRuntime: true,
+	})
+	return &Store{kv: st, mode: opt.Mode}
+}
+
+// KV exposes the underlying store (prefill, monitoring, and the
+// NonAtomic arm's batch path). Writing through it concurrently with
+// transactions forfeits transactional isolation for those writes —
+// single-key operations stay individually linearizable, but they do not
+// serialize against multi-key transactions.
+func (s *Store) KV() *kv.Store { return s.kv }
+
+// Mode returns the store's concurrency-control arm.
+func (s *Store) Mode() Mode { return s.mode }
+
+// SetStallInjection forwards deschedule injection to the runtime (see
+// flock.Runtime.SetStallInjection). Stalls strike while holding shard
+// locks, which is precisely the event the three modes react to
+// differently.
+func (s *Store) SetStallInjection(n int) { s.kv.SetStallInjection(n) }
+
+// clientSeq seeds per-client backoff jitter (shared constants would
+// synchronize contending clients' retries).
+var clientSeq atomic.Uint64
+
+// Client is one goroutine's transactional handle. A Client must only be
+// used by one goroutine at a time; Close releases it.
+type Client struct {
+	st  *Store
+	kc  *kv.Client
+	p   *flock.Proc
+	rng *workload.SplitMix64
+	// seen is shardsOf's scratch bitmap. It is reused across operations
+	// — safe because it is only touched at top level, never captured by
+	// a thunk closure (unlike the per-op key copies and shard lists).
+	seen []bool
+}
+
+// Register creates a client handle on the store.
+func (s *Store) Register() *Client {
+	kc := s.kv.Register()
+	rng := workload.NewSplitMix64(clientSeq.Add(1))
+	return &Client{st: s, kc: kc, p: kc.SharedProc(), rng: rng}
+}
+
+// Close releases the client's runtime registration.
+func (c *Client) Close() { c.kc.Close() }
+
+// TxnFunc computes a transaction's writes from its reads: vals[i]/oks[i]
+// is the value/presence of readKeys[i] at the transaction's
+// serialization point. It returns one value per write key and whether
+// to commit; on commit=false nothing is written and the transaction
+// reports aborted. fn must be pure — in lock-free mode helper threads
+// re-run it with the same inputs and every run must return the same
+// outputs — and must not retain or mutate its argument slices.
+type TxnFunc func(vals []uint64, oks []bool) (writeVals []uint64, commit bool)
+
+// shardIndices maps keys to their shard indices (one hash per key per
+// operation; thunk bodies and helper replays reuse the result instead
+// of re-hashing).
+func (c *Client) shardIndices(keys []uint64) []int {
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = c.st.kv.ShardOf(k)
+	}
+	return out
+}
+
+// shardsOf returns the sorted, deduplicated union of the precomputed
+// shard-index sets — the lock acquisition order. The returned slice is
+// fresh (it is captured by thunk closures); the scratch bitmap is not.
+func (c *Client) shardsOf(idxSets ...[]int) []int {
+	if c.seen == nil {
+		c.seen = make([]bool, c.st.kv.NumShards())
+	}
+	n := 0
+	for _, idxs := range idxSets {
+		for _, s := range idxs {
+			if !c.seen[s] {
+				c.seen[s] = true
+				n++
+			}
+		}
+	}
+	out := make([]int, 0, n)
+	for s, hit := range c.seen {
+		if hit {
+			out = append(out, s)
+			c.seen[s] = false // reset for the next operation
+		}
+	}
+	return out // ascending by construction
+}
+
+// acquireSorted tries to run body inside the composed critical section
+// holding every listed shard lock, nesting TryLock calls in ascending
+// order. It reports false when any acquisition failed (after helping
+// the conflicting holder to completion, in lock-free mode); the caller
+// retries. body runs on whichever Proc executes the innermost thunk.
+func (c *Client) acquireSorted(shards []int, body func(hp *flock.Proc)) bool {
+	p := c.p
+	p.Begin()
+	defer p.End()
+	var nest func(hp *flock.Proc, i int) bool
+	nest = func(hp *flock.Proc, i int) bool {
+		if i == len(shards) {
+			body(hp)
+			return true
+		}
+		return c.st.kv.ShardLock(shards[i]).TryLock(hp, func(hp2 *flock.Proc) bool {
+			return nest(hp2, i+1)
+		})
+	}
+	return nest(p, 0)
+}
+
+// backoff spins-then-yields with per-client jitter between acquisition
+// attempts.
+func (c *Client) backoff(attempt int) {
+	if attempt > 8 {
+		attempt = 8
+	}
+	spins := c.rng.Next() % (uint64(16) << uint(attempt))
+	for i := uint64(0); i < spins; i++ {
+		_ = i
+	}
+	if attempt >= 2 {
+		runtime.Gosched()
+	}
+}
+
+// atomically retries the composed critical section until the full lock
+// chain is acquired once. body must publish its results idempotently
+// (per-attempt atomics): acquisition success means body's effects are
+// durably logged, even if the physical completion was a helper's.
+func (c *Client) atomically(shards []int, mkBody func() func(hp *flock.Proc)) {
+	for attempt := 0; ; attempt++ {
+		// A fresh body per attempt: a straggler replaying a *failed*
+		// published attempt must find that attempt's buffers, not the
+		// next one's (DESIGN.md S11).
+		if c.acquireSorted(shards, mkBody()) {
+			return
+		}
+		c.backoff(attempt)
+	}
+}
+
+// Txn runs a generic multi-key transaction: it reads readKeys, applies
+// fn, and — if fn commits — upserts writeKeys[i] = writeVals[i], all at
+// one serialization point. It returns the read values and presence
+// flags observed at that point and whether the transaction committed.
+// fn must return exactly len(writeKeys) values when committing.
+//
+// In NonAtomic mode the reads and writes are per-key operations with no
+// mutual atomicity (the ablation baseline).
+func (c *Client) Txn(readKeys, writeKeys []uint64, fn TxnFunc) (vals []uint64, oks []bool, committed bool) {
+	if c.st.mode == NonAtomic {
+		rv, ro := c.kc.GetBatch(readKeys)
+		wv, commit := fn(rv, ro)
+		if !commit {
+			return rv, ro, false
+		}
+		if len(wv) != len(writeKeys) {
+			panic("txn: TxnFunc returned wrong write count")
+		}
+		c.kc.PutBatch(writeKeys, wv)
+		return rv, ro, true
+	}
+	// Defensive copies: thunk closures capture these, and straggling
+	// helpers may replay them after the caller reused its slices. The
+	// shard indices are precomputed once beside them so replays do not
+	// re-hash every key.
+	rk := append([]uint64(nil), readKeys...)
+	wk := append([]uint64(nil), writeKeys...)
+	rsh := c.shardIndices(rk)
+	wsh := c.shardIndices(wk)
+	shards := c.shardsOf(rsh, wsh)
+
+	type buf struct {
+		vals    []atomic.Uint64
+		oks     []atomic.Uint32
+		outcome atomic.Uint32 // 1 committed, 2 aborted
+	}
+	var last *buf
+	c.atomically(shards, func() func(hp *flock.Proc) {
+		b := &buf{vals: make([]atomic.Uint64, len(rk)), oks: make([]atomic.Uint32, len(rk))}
+		last = b
+		return func(hp *flock.Proc) {
+			// Run-local scratch: every run recomputes identical values
+			// from logged loads.
+			rv := make([]uint64, len(rk))
+			ro := make([]bool, len(rk))
+			for i, k := range rk {
+				v, ok := c.st.kv.ShardGet(rsh[i], hp, k)
+				rv[i], ro[i] = v, ok
+			}
+			wv, commit := fn(rv, ro)
+			for i := range rk {
+				b.vals[i].Store(rv[i])
+				if ro[i] {
+					b.oks[i].Store(1)
+				}
+			}
+			if !commit {
+				b.outcome.Store(2)
+				return
+			}
+			if len(wv) != len(wk) {
+				panic("txn: TxnFunc returned wrong write count")
+			}
+			for i, k := range wk {
+				c.st.kv.ShardPut(wsh[i], hp, k, wv[i])
+			}
+			b.outcome.Store(1)
+		}
+	})
+	vals = make([]uint64, len(rk))
+	oks = make([]bool, len(rk))
+	for i := range rk {
+		vals[i] = last.vals[i].Load()
+		oks[i] = last.oks[i].Load() == 1
+	}
+	return vals, oks, last.outcome.Load() == 1
+}
+
+// commitTrue is the read-only TxnFunc.
+func commitTrue([]uint64, []bool) ([]uint64, bool) { return nil, true }
+
+// MultiGet returns a consistent snapshot of the keys: all values read
+// at one serialization point (in atomic modes; in NonAtomic mode it is
+// kv's shard-grouped batch read).
+func (c *Client) MultiGet(keys []uint64) ([]uint64, []bool) {
+	if c.st.mode == NonAtomic {
+		return c.kc.GetBatch(keys)
+	}
+	vals, oks, _ := c.Txn(keys, nil, commitTrue)
+	return vals, oks
+}
+
+// MultiPut atomically upserts keys[i] -> vals[i] for every i (later
+// duplicates win, as in input order) and returns how many keys were
+// newly inserted. In NonAtomic mode it is kv's batch put.
+func (c *Client) MultiPut(keys, vals []uint64) int {
+	if len(keys) != len(vals) {
+		panic("txn: MultiPut length mismatch")
+	}
+	if c.st.mode == NonAtomic {
+		return c.kc.PutBatch(keys, vals)
+	}
+	k2 := append([]uint64(nil), keys...)
+	v2 := append([]uint64(nil), vals...)
+	ksh := c.shardIndices(k2)
+	shards := c.shardsOf(ksh)
+	var last *atomic.Uint64
+	c.atomically(shards, func() func(hp *flock.Proc) {
+		ins := &atomic.Uint64{}
+		last = ins
+		return func(hp *flock.Proc) {
+			// The count is accumulated run-locally and published with a
+			// Store (not Add): every run derives the same total from
+			// logged upsert reports, so the store is idempotent where
+			// an increment would double-count under helping.
+			n := uint64(0)
+			for i, k := range k2 {
+				if c.st.kv.ShardPut(ksh[i], hp, k, v2[i]) {
+					n++
+				}
+			}
+			ins.Store(n)
+		}
+	})
+	return int(last.Load())
+}
+
+// MultiCAS atomically compares-and-sets a key set: iff every keys[i] is
+// present with value expect[i], it writes keys[i] = desired[i] for all
+// i and returns true; otherwise it writes nothing and returns false.
+func (c *Client) MultiCAS(keys, expect, desired []uint64) bool {
+	if len(keys) != len(expect) || len(keys) != len(desired) {
+		panic("txn: MultiCAS length mismatch")
+	}
+	e2 := append([]uint64(nil), expect...)
+	d2 := append([]uint64(nil), desired...)
+	_, _, committed := c.Txn(keys, keys, func(vals []uint64, oks []bool) ([]uint64, bool) {
+		for i := range vals {
+			if !oks[i] || vals[i] != e2[i] {
+				return nil, false
+			}
+		}
+		return d2, true
+	})
+	return committed
+}
+
+// Transfer atomically moves amount from account a to account b: it
+// commits iff a and b are distinct keys, both present, and a's balance
+// covers the amount. The conserved-sum invariant over concurrent
+// Transfers is the suite's torn-write detector (txntest).
+func (c *Client) Transfer(a, b, amount uint64) bool {
+	if a == b {
+		return false
+	}
+	_, _, committed := c.Txn([]uint64{a, b}, []uint64{a, b},
+		func(vals []uint64, oks []bool) ([]uint64, bool) {
+			if !oks[0] || !oks[1] || vals[0] < amount {
+				return nil, false
+			}
+			return []uint64{vals[0] - amount, vals[1] + amount}, true
+		})
+	return committed
+}
+
+// Get is single-key read sugar: a one-key transaction in atomic modes
+// (serialized against multi-key transactions), a plain kv read in
+// NonAtomic mode.
+func (c *Client) Get(k uint64) (uint64, bool) {
+	if c.st.mode == NonAtomic {
+		return c.kc.Get(k)
+	}
+	vals, oks, _ := c.Txn([]uint64{k}, nil, commitTrue)
+	return vals[0], oks[0]
+}
+
+// Put is single-key upsert sugar with the same serialization contract
+// as Get; it reports whether k was newly inserted.
+func (c *Client) Put(k, v uint64) bool {
+	if c.st.mode == NonAtomic {
+		return c.kc.Put(k, v)
+	}
+	return c.MultiPut([]uint64{k}, []uint64{v}) == 1
+}

@@ -1,0 +1,198 @@
+package txn_test
+
+import (
+	"fmt"
+	"testing"
+
+	flock "flock/internal/core"
+	"flock/internal/harness"
+	"flock/internal/kv"
+	"flock/internal/structures/abtree"
+	"flock/internal/structures/arttree"
+	"flock/internal/structures/couplist"
+	"flock/internal/structures/dlist"
+	"flock/internal/structures/hashtable"
+	"flock/internal/structures/lazylist"
+	"flock/internal/structures/leaftreap"
+	"flock/internal/structures/leaftree"
+	"flock/internal/structures/set"
+	"flock/internal/txn"
+	"flock/internal/txn/txntest"
+)
+
+var (
+	leaftreeFactory  kv.Factory = func(rt *flock.Runtime, _ uint64) set.Set { return leaftree.New(rt) }
+	hashtableFactory kv.Factory = func(rt *flock.Runtime, r uint64) set.Set { return hashtable.New(rt, int(r)) }
+)
+
+// harnessFactory mirrors the harness registry's txn-capable factories
+// (the registry itself is unexported; these must stay in sync with
+// harness.txnCapable, which TestRunTimedTxn's guard test covers from
+// the other side).
+func harnessFactory(name string) (kv.Factory, error) {
+	switch name {
+	case "lazylist":
+		return func(rt *flock.Runtime, _ uint64) set.Set { return lazylist.New(rt) }, nil
+	case "dlist":
+		return func(rt *flock.Runtime, _ uint64) set.Set { return dlist.New(rt) }, nil
+	case "couplist":
+		return func(rt *flock.Runtime, _ uint64) set.Set { return couplist.New(rt) }, nil
+	case "leaftreap":
+		return func(rt *flock.Runtime, _ uint64) set.Set { return leaftreap.New(rt) }, nil
+	case "abtree":
+		return func(rt *flock.Runtime, _ uint64) set.Set { return abtree.New(rt) }, nil
+	case "arttree":
+		return func(rt *flock.Runtime, _ uint64) set.Set { return arttree.New(rt) }, nil
+	default:
+		return nil, fmt.Errorf("no factory for %q", name)
+	}
+}
+
+// The conformance suite runs over both native-upsert structures the
+// acceptance criteria name; together with the mode × shard matrix
+// inside, this is the multi-key atomicity verification.
+func TestConformanceLeaftree(t *testing.T)  { txntest.Run(t, leaftreeFactory) }
+func TestConformanceHashtable(t *testing.T) { txntest.Run(t, hashtableFactory) }
+
+// Every other structure the harness's txnCapable set vouches for runs
+// the same suite: vouching without verification would let a structure
+// whose operations do not replay deterministically inside a composed
+// thunk (couplist's hand-over-hand early release is the riskiest
+// pattern) tear transactions silently. These use kv's delete-then-
+// insert upsert fallback, which is atomic here because it runs
+// entirely inside the shard-lock thunk.
+func TestConformanceOtherCapableStructures(t *testing.T) {
+	// Completeness first (cheap, runs even in -short mode): every
+	// structure the harness vouches for must be covered by a suite run
+	// in this file — here or in the dedicated leaftree/hashtable tests.
+	covered := map[string]bool{"leaftree": true, "hashtable": true}
+	others := []string{"lazylist", "dlist", "couplist", "leaftreap", "abtree", "arttree"}
+	for _, name := range others {
+		covered[name] = true
+	}
+	for _, name := range harness.TxnCapableStructures() {
+		if !covered[name] {
+			t.Fatalf("harness vouches for %q as txn-capable but no conformance suite covers it", name)
+		}
+	}
+	if testing.Short() {
+		// The CI race job runs -short: racing all six suites multiplies
+		// its time ~25x while exercising the same protocol code the
+		// leaftree/hashtable race passes already cover. The full (non
+		// -short) test step still runs them all.
+		t.Skip("six extra structure suites skipped in -short mode")
+	}
+	for _, name := range others {
+		name := name
+		f, err := harnessFactory(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) { txntest.Run(t, f) })
+	}
+}
+
+func newStore(mode txn.Mode, shards int) *txn.Store {
+	return txn.New(leaftreeFactory, txn.Options{Shards: shards, Mode: mode, KeyRange: 1024})
+}
+
+func TestMultiPutDuplicatesLastWins(t *testing.T) {
+	for _, mode := range []txn.Mode{txn.LockFree, txn.Blocking, txn.NonAtomic} {
+		st := newStore(mode, 4)
+		c := st.Register()
+		ins := c.MultiPut([]uint64{7, 7, 7}, []uint64{1, 2, 3})
+		if ins != 1 {
+			t.Errorf("%v: inserted %d, want 1 (duplicates are one key)", mode, ins)
+		}
+		if v, ok := c.Get(7); !ok || v != 3 {
+			t.Errorf("%v: key 7 = (%d,%v), want (3,true): input order must win", mode, v, ok)
+		}
+		c.Close()
+	}
+}
+
+func TestMultiCASRequiresPresence(t *testing.T) {
+	st := newStore(txn.LockFree, 4)
+	c := st.Register()
+	defer c.Close()
+	if c.MultiCAS([]uint64{5}, []uint64{0}, []uint64{1}) {
+		t.Fatal("MultiCAS succeeded on an absent key")
+	}
+	c.Put(5, 10)
+	if c.MultiCAS([]uint64{5}, []uint64{9}, []uint64{1}) {
+		t.Fatal("MultiCAS succeeded with a wrong expectation")
+	}
+	if !c.MultiCAS([]uint64{5}, []uint64{10}, []uint64{11}) {
+		t.Fatal("MultiCAS failed with the correct expectation")
+	}
+	if v, _ := c.Get(5); v != 11 {
+		t.Fatalf("key 5 = %d after CAS, want 11", v)
+	}
+}
+
+func TestTransferRules(t *testing.T) {
+	st := newStore(txn.LockFree, 4)
+	c := st.Register()
+	defer c.Close()
+	c.MultiPut([]uint64{1, 2}, []uint64{100, 0})
+	if c.Transfer(1, 1, 10) {
+		t.Fatal("self-transfer succeeded")
+	}
+	if c.Transfer(1, 3, 10) {
+		t.Fatal("transfer to an absent account succeeded")
+	}
+	if c.Transfer(1, 2, 101) {
+		t.Fatal("overdraft transfer succeeded")
+	}
+	if !c.Transfer(1, 2, 100) {
+		t.Fatal("covered transfer failed")
+	}
+	va, _ := c.Get(1)
+	vb, _ := c.Get(2)
+	if va != 0 || vb != 100 {
+		t.Fatalf("balances (%d,%d) after transfer, want (0,100)", va, vb)
+	}
+}
+
+func TestTxnAbortWritesNothing(t *testing.T) {
+	st := newStore(txn.LockFree, 4)
+	c := st.Register()
+	defer c.Close()
+	c.Put(1, 5)
+	vals, oks, committed := c.Txn([]uint64{1}, []uint64{1, 2},
+		func([]uint64, []bool) ([]uint64, bool) { return nil, false })
+	if committed {
+		t.Fatal("aborting Txn reported committed")
+	}
+	if !oks[0] || vals[0] != 5 {
+		t.Fatalf("aborting Txn observed (%d,%v), want (5,true)", vals[0], oks[0])
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("aborted Txn wrote key 2")
+	}
+}
+
+func TestSharedRuntimeRequired(t *testing.T) {
+	// The txn store must route all shards through one runtime; this is
+	// what makes cross-shard helping and reclamation sound.
+	st := newStore(txn.LockFree, 4)
+	if st.KV().Runtime() == nil {
+		t.Fatal("txn store built without a shared runtime")
+	}
+	// And a per-shard-runtime kv store must refuse SharedProc.
+	plain := kv.New(leaftreeFactory, kv.Options{Shards: 2})
+	pc := plain.Register()
+	defer pc.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SharedProc on a per-shard-runtime store did not panic")
+		}
+	}()
+	pc.SharedProc()
+}
+
+func TestModeString(t *testing.T) {
+	if txn.LockFree.String() != "lockfree" || txn.Blocking.String() != "blocking" || txn.NonAtomic.String() != "nonatomic" {
+		t.Fatalf("mode names: %v %v %v", txn.LockFree, txn.Blocking, txn.NonAtomic)
+	}
+}

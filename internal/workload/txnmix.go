@@ -1,0 +1,137 @@
+package workload
+
+import "fmt"
+
+// TxnOp is one generated multi-key transaction kind, mapping onto the
+// internal/txn client API.
+type TxnOp uint8
+
+// Transaction kinds: reads map to MultiGet, writes to MultiPut,
+// transfers to Transfer (first two generated keys), and rmw to a
+// generic read-increment-write Txn over the whole key set.
+const (
+	TxnRead TxnOp = iota
+	TxnWrite
+	TxnTransfer
+	TxnRMW
+)
+
+func (o TxnOp) String() string {
+	switch o {
+	case TxnRead:
+		return "read"
+	case TxnWrite:
+		return "write"
+	case TxnTransfer:
+		return "transfer"
+	default:
+		return "rmw"
+	}
+}
+
+// txnMixSpec is one workload's operation percentages (sum 100).
+type txnMixSpec struct {
+	read, write, transfer, rmw int
+}
+
+// txnMixes holds the transactional workloads. "transfer" is the
+// SmallBank-style money-movement mix the conserved-sum figures use;
+// "ycsbt" is a YCSB-T-like short-transaction mix (read-mostly with
+// multi-key writes, read-modify-writes and some transfers).
+var txnMixes = map[string]txnMixSpec{
+	"transfer": {read: 40, write: 10, transfer: 50},
+	"ycsbt":    {read: 50, write: 25, transfer: 10, rmw: 15},
+}
+
+// TxnMixes returns the supported transactional workload names in order.
+func TxnMixes() []string { return []string{"transfer", "ycsbt"} }
+
+// TxnMix generates one worker's deterministic stream of multi-key
+// transactions: operation kinds drawn from the named mix, key sets of
+// the configured size drawn zipfian (distinct within each transaction;
+// transfers always use exactly two keys).
+type TxnMix struct {
+	zipf *Zipf
+	mix  txnMixSpec
+	size int
+	rng  *SplitMix64
+	keys []uint64 // reused across Next calls; callers must not retain
+}
+
+// NewTxnMix builds a per-worker generator for the named transactional
+// workload; size is the number of keys per multi-key transaction
+// (values < 1 mean 1; transfers always touch exactly 2 keys and need a
+// key range of at least 2).
+func NewTxnMix(name string, keyRange uint64, theta float64, size int, seed uint64) (*TxnMix, error) {
+	mix, ok := txnMixes[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown txn workload %q (have %v)", name, TxnMixes())
+	}
+	if size < 1 {
+		size = 1
+	}
+	if max := int(keyRange); size > max {
+		size = max
+	}
+	// Distinct draws are rejection-sampled: asking for most of a large
+	// skewed key range turns each transaction into a coupon-collector
+	// over the zipf tail (the rarest ranks have vanishing probability),
+	// which looks like a hang. Fail fast instead; tiny ranges are
+	// exempt (collecting all of a handful of keys is cheap at any skew).
+	if keyRange > 32 && uint64(size) > keyRange/2 {
+		return nil, fmt.Errorf("workload: txn size %d too large for key range %d (distinct draws degenerate; keep size <= keyRange/2)",
+			size, keyRange)
+	}
+	if keyRange < 2 && mix.transfer > 0 {
+		return nil, fmt.Errorf("workload: txn workload %q needs a key range >= 2 for transfers", name)
+	}
+	buf := size
+	if buf < 2 && mix.transfer > 0 {
+		buf = 2 // transfers draw 2 keys regardless of size
+	}
+	return &TxnMix{
+		zipf: NewZipf(keyRange, theta),
+		mix:  mix,
+		size: size,
+		rng:  NewSplitMix64(seed),
+		keys: make([]uint64, 0, buf),
+	}, nil
+}
+
+// distinct fills t.keys[:n] with n distinct zipfian keys.
+func (t *TxnMix) distinct(n int) []uint64 {
+	keys := t.keys[:0]
+	for len(keys) < n {
+		k := t.zipf.Next(t.rng)
+		dup := false
+		for _, kk := range keys {
+			if kk == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Next returns the next transaction kind and its key set. The slice is
+// reused by the following Next call; transactional clients copy their
+// inputs (see internal/txn), so handing it straight to them is safe,
+// but callers must not retain it.
+func (t *TxnMix) Next() (TxnOp, []uint64) {
+	r := t.rng.Next()
+	c := int(r % 100)
+	switch {
+	case c < t.mix.read:
+		return TxnRead, t.distinct(t.size)
+	case c < t.mix.read+t.mix.write:
+		return TxnWrite, t.distinct(t.size)
+	case c < t.mix.read+t.mix.write+t.mix.transfer:
+		return TxnTransfer, t.distinct(2)
+	default:
+		return TxnRMW, t.distinct(t.size)
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import "testing"
+
+func TestTxnMixFractions(t *testing.T) {
+	for _, name := range TxnMixes() {
+		m, err := NewTxnMix(name, 1000, 0, 4, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		const draws = 200_000
+		counts := map[TxnOp]int{}
+		for i := 0; i < draws; i++ {
+			op, _ := m.Next()
+			counts[op]++
+		}
+		spec := txnMixes[name]
+		wants := map[TxnOp]int{
+			TxnRead: spec.read, TxnWrite: spec.write,
+			TxnTransfer: spec.transfer, TxnRMW: spec.rmw,
+		}
+		for op, pct := range wants {
+			got := float64(counts[op]) / draws * 100
+			if diff := got - float64(pct); diff < -1.5 || diff > 1.5 {
+				t.Errorf("%s: %v fraction %.2f%%, want ~%d%%", name, op, got, pct)
+			}
+		}
+	}
+}
+
+func TestTxnMixDistinctKeys(t *testing.T) {
+	// Even under heavy zipfian skew the keys within one transaction
+	// must be distinct (a transfer from a key to itself, or a multi-op
+	// locking one key twice, is malformed).
+	m, err := NewTxnMix("ycsbt", 10, 0.99, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		op, keys := m.Next()
+		wantLen := 4
+		if op == TxnTransfer {
+			wantLen = 2
+		}
+		if len(keys) != wantLen {
+			t.Fatalf("draw %d: %v produced %d keys, want %d", i, op, len(keys), wantLen)
+		}
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			if k < 1 || k > 10 {
+				t.Fatalf("draw %d: key %d out of range", i, k)
+			}
+			if seen[k] {
+				t.Fatalf("draw %d: duplicate key %d in %v", i, k, keys)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestTxnMixDeterministic(t *testing.T) {
+	a, _ := NewTxnMix("transfer", 500, 0.75, 3, 42)
+	b, _ := NewTxnMix("transfer", 500, 0.75, 3, 42)
+	for i := 0; i < 5000; i++ {
+		opA, keysA := a.Next()
+		opB, keysB := b.Next()
+		if opA != opB || len(keysA) != len(keysB) {
+			t.Fatalf("draw %d diverged: %v/%v", i, opA, opB)
+		}
+		for j := range keysA {
+			if keysA[j] != keysB[j] {
+				t.Fatalf("draw %d key %d diverged: %d vs %d", i, j, keysA[j], keysB[j])
+			}
+		}
+	}
+}
+
+func TestTxnMixSizeClamps(t *testing.T) {
+	// size is clamped to the key range (distinct draws would otherwise
+	// never terminate) and to at least 1.
+	m, err := NewTxnMix("ycsbt", 3, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, keys := m.Next()
+	if op != TxnTransfer && len(keys) != 3 {
+		t.Fatalf("size not clamped to key range: %d keys", len(keys))
+	}
+	if _, err := NewTxnMix("nope", 100, 0, 2, 1); err == nil {
+		t.Fatal("unknown mix name accepted")
+	}
+	if _, err := NewTxnMix("transfer", 1, 0, 1, 1); err == nil {
+		t.Fatal("transfer mix accepted a 1-key range")
+	}
+	// Collecting most of a large skewed range is a coupon-collector
+	// hang; it must be rejected, not attempted.
+	if _, err := NewTxnMix("ycsbt", 1000, 0.99, 600, 1); err == nil {
+		t.Fatal("degenerate size/keyRange combination accepted")
+	}
+	if _, err := NewTxnMix("ycsbt", 1000, 0.99, 500, 1); err != nil {
+		t.Fatalf("size = keyRange/2 rejected: %v", err)
+	}
+}
