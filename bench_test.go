@@ -106,22 +106,14 @@ func benchKVPoint(b *testing.B, spec harness.Spec) {
 	b.RunParallel(func(pb *testing.PB) {
 		c := st.Register()
 		defer c.Close()
-		mix, err := workload.NewYCSB(spec.YCSB, spec.KeyRange, spec.Alpha,
-			spec.HashKeys, spec.Seed+workerSeq.Add(1)*0x9e3779b9)
+		mix, err := harness.NewYCSBMix(spec, workerSeq.Add(1))
 		if err != nil {
 			panic(err) // spec already validated by NewKVInstance
 		}
 		var n uint64
 		for pb.Next() {
 			op, k := mix.Next()
-			switch op {
-			case workload.YUpdate:
-				c.Put(k, k+n)
-			case workload.YRMW:
-				c.ReadModifyWrite(k, func(old uint64, _ bool) uint64 { return old + 1 })
-			default:
-				c.Get(k)
-			}
+			harness.ApplyYCSBOp(c, mix, op, k, n)
 			n++
 		}
 	})
@@ -219,5 +211,6 @@ func Benchmark_ExtTxnKeys(b *testing.B) { benchFigure(b, "ext-txn-keys") }
 func Benchmark_ExtYCSBA(b *testing.B)      { benchFigure(b, "ext-ycsb-a") }
 func Benchmark_ExtYCSBB(b *testing.B)      { benchFigure(b, "ext-ycsb-b") }
 func Benchmark_ExtYCSBC(b *testing.B)      { benchFigure(b, "ext-ycsb-c") }
+func Benchmark_ExtYCSBE(b *testing.B)      { benchFigure(b, "ext-ycsb-e") }
 func Benchmark_ExtYCSBF(b *testing.B)      { benchFigure(b, "ext-ycsb-f") }
 func Benchmark_ExtYCSBShards(b *testing.B) { benchFigure(b, "ext-ycsb-shards") }

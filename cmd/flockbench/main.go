@@ -10,6 +10,10 @@
 //
 //	flockbench -figure all -repeats 3 -warmup 1
 //
+// Run only some of a figure's series:
+//
+//	flockbench -figure ext-ycsb-e -series kv-leaftree-lf,kv-olcart
+//
 // Full-scale paper parameters (hours, needs a big machine):
 //
 //	flockbench -figure fig5a -largekeys 100000000 -duration 3s -repeats 3
@@ -29,10 +33,12 @@
 //	flockbench -structure leaftree -threads 16 -stall 100
 //
 // The KV-layer YCSB extension (DESIGN.md S9) — sharded kv.Store, with
-// p50/p95/p99 latency reported alongside Mop/s:
+// p50/p95/p99 latency reported alongside Mop/s. YCSB-E (DESIGN.md S12)
+// is the scan-heavy mix; -scanlen bounds its zipf-drawn scan lengths:
 //
 //	flockbench -figure ext-ycsb-a
 //	flockbench -structure leaftree -ycsb f -shards 8 -threads 16
+//	flockbench -structure leaftree -ycsb e -scanlen 64 -shards 8
 //
 // The allocation ablation (DESIGN.md S10) — pooled vs GC-fresh vs
 // blocking, with allocs/op reported alongside Mop/s:
@@ -53,6 +59,9 @@
 //
 //	flockbench -list
 //
+// An unknown -figure or -series name prints the same catalog and exits
+// non-zero.
+//
 // Machine-readable capture (one JSON record per point, JSONL):
 //
 //	flockbench -figure all -json > BENCH_all.json
@@ -62,6 +71,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -71,52 +81,54 @@ import (
 )
 
 func main() {
-	var (
-		figure    = flag.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-alloc, ext-txn, ext-txn-keys, ext-ycsb-{a,b,c,f,shards}, or 'all')")
-		list      = flag.Bool("list", false, "list figure ids with their series names, and structures")
-		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
-		jsonOut   = flag.Bool("json", false, "emit one JSON record per point (JSONL) with Mops and latency percentiles")
-		largeKeys = flag.Uint64("largekeys", 0, "override the 'large' key range (paper: 100M)")
-		smallKeys = flag.Uint64("smallkeys", 0, "override the 'small' key range (paper: 100K)")
-		duration  = flag.Duration("duration", 0, "per-point run duration (paper: 3s)")
-		warmup    = flag.Int("warmup", -1, "warmup runs per point (paper: 1)")
-		repeats   = flag.Int("repeats", 0, "measured runs per point (paper: 3)")
-		baseTh    = flag.Int("base", 0, "'full subscription' thread count (paper: 144)")
-		overTh    = flag.Int("over", 0, "oversubscribed thread count (paper: 216)")
-		sweep     = flag.String("sweep", "", "comma-separated thread sweep, e.g. 1,2,4,8,16")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		structure = flag.String("structure", "", "single-point mode: structure name")
-		threads   = flag.Int("threads", 8, "single-point: worker goroutines")
-		keys      = flag.Uint64("keys", 100_000, "single-point: key range")
-		update    = flag.Int("update", 50, "single-point: update percentage")
-		alpha     = flag.Float64("alpha", 0.75, "single-point: zipfian parameter")
-		blocking  = flag.Bool("blocking", false, "single-point: blocking mode")
-		noPool    = flag.Bool("nopool", false, "single-point: disable descriptor/log/mbox pooling (GC-fresh ablation arm)")
-		hashKeys  = flag.Bool("hashkeys", false, "single-point: sparsify keys by hashing")
-		stall     = flag.Int("stall", 0, "single-point: inject a deschedule every N critical sections")
-		ycsb      = flag.String("ycsb", "", "single-point: run a YCSB workload (a, b, c, f) against the sharded KV store")
-		txnMix    = flag.String("txn", "", "single-point: run a transactional workload (transfer, ycsbt) against the txn layer")
-		txnSize   = flag.Int("txnsize", 2, "single-point: keys per multi-key transaction (-txn)")
-		nonAtomic = flag.Bool("nonatomic", false, "single-point: per-key non-atomic arm of the txn layer (-txn)")
-		shards    = flag.Int("shards", 0, "KV shard count (single-point -ycsb/-txn, and the default for ext-ycsb/ext-txn figures)")
-		seed      = flag.Uint64("seed", 42, "workload seed")
+// run is main with its environment abstracted, so the CLI's flag
+// handling — in particular the unknown-figure/-series paths — is
+// testable. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("flockbench", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	var (
+		figure    = flags.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-alloc, ext-txn, ext-txn-keys, ext-ycsb-{a,b,c,e,f,shards}, or 'all')")
+		series    = flags.String("series", "", "comma-separated series-name filter for -figure (default: all series)")
+		list      = flags.Bool("list", false, "list figure ids with their series names, and structures")
+		csv       = flags.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut   = flags.Bool("json", false, "emit one JSON record per point (JSONL) with Mops and latency percentiles")
+		largeKeys = flags.Uint64("largekeys", 0, "override the 'large' key range (paper: 100M)")
+		smallKeys = flags.Uint64("smallkeys", 0, "override the 'small' key range (paper: 100K)")
+		duration  = flags.Duration("duration", 0, "per-point run duration (paper: 3s)")
+		warmup    = flags.Int("warmup", -1, "warmup runs per point (paper: 1)")
+		repeats   = flags.Int("repeats", 0, "measured runs per point (paper: 3)")
+		baseTh    = flags.Int("base", 0, "'full subscription' thread count (paper: 144)")
+		overTh    = flags.Int("over", 0, "oversubscribed thread count (paper: 216)")
+		sweep     = flags.String("sweep", "", "comma-separated thread sweep, e.g. 1,2,4,8,16")
+
+		structure = flags.String("structure", "", "single-point mode: structure name")
+		threads   = flags.Int("threads", 8, "single-point: worker goroutines")
+		keys      = flags.Uint64("keys", 100_000, "single-point: key range")
+		update    = flags.Int("update", 50, "single-point: update percentage")
+		alpha     = flags.Float64("alpha", 0.75, "single-point: zipfian parameter")
+		blocking  = flags.Bool("blocking", false, "single-point: blocking mode")
+		noPool    = flags.Bool("nopool", false, "single-point: disable descriptor/log/mbox pooling (GC-fresh ablation arm)")
+		hashKeys  = flags.Bool("hashkeys", false, "single-point: sparsify keys by hashing")
+		stall     = flags.Int("stall", 0, "single-point: inject a deschedule every N critical sections")
+		ycsb      = flags.String("ycsb", "", "single-point: run a YCSB workload (a, b, c, e, f) against the sharded KV store")
+		scanLen   = flags.Int("scanlen", 0, "single-point: max zipf-drawn scan length for scan-bearing YCSB mixes (-ycsb e; 0 = default)")
+		txnMix    = flags.String("txn", "", "single-point: run a transactional workload (transfer, ycsbt) against the txn layer")
+		txnSize   = flags.Int("txnsize", 2, "single-point: keys per multi-key transaction (-txn)")
+		nonAtomic = flags.Bool("nonatomic", false, "single-point: per-key non-atomic arm of the txn layer (-txn)")
+		shards    = flags.Int("shards", 0, "KV shard count (single-point -ycsb/-txn, and the default for ext-ycsb/ext-txn figures)")
+		seed      = flags.Uint64("seed", 42, "workload seed")
 	)
-	flag.Parse()
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("figures:")
-		figs := harness.Figures()
-		for _, id := range harness.FigureIDs() {
-			fmt.Printf("  %-16s %s\n", id, figs[id].Paper)
-			for _, s := range figs[id].Series {
-				fmt.Printf("    %s\n", s.Name)
-			}
-		}
-		fmt.Println("structures:")
-		for _, s := range harness.Structures() {
-			fmt.Printf("  %s\n", s)
-		}
-		return
+		printCatalog(stdout)
+		return 0
 	}
 
 	sc := harness.DefaultScale()
@@ -150,7 +162,8 @@ func main() {
 		for _, part := range strings.Split(*sweep, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n <= 0 {
-				fatalf("bad -sweep element %q", part)
+				fmt.Fprintf(stderr, "flockbench: bad -sweep element %q\n", part)
+				return 1
 			}
 			ts = append(ts, n)
 		}
@@ -166,16 +179,28 @@ func main() {
 		for _, id := range ids {
 			fs, ok := harness.Figures()[id]
 			if !ok {
-				fatalf("unknown figure %q (use -list)", id)
+				fmt.Fprintf(stderr, "flockbench: unknown figure %q; valid names:\n", id)
+				printCatalog(stderr)
+				return 1
+			}
+			if *series != "" {
+				filtered, err := filterSeries(fs, *series)
+				if err != nil {
+					fmt.Fprintf(stderr, "flockbench: %v\n", err)
+					printCatalog(stderr)
+					return 1
+				}
+				fs = filtered
 			}
 			fig, err := harness.RunFigure(fs, sc)
 			if err != nil {
-				fatalf("figure %s: %v", id, err)
+				fmt.Fprintf(stderr, "flockbench: figure %s: %v\n", id, err)
+				return 1
 			}
 			if *jsonOut {
-				printFigureJSON(fig)
+				printFigureJSON(stdout, fig)
 			} else {
-				printFigure(fig, *csv)
+				printFigure(stdout, fig, *csv)
 			}
 		}
 	case *structure != "":
@@ -192,6 +217,7 @@ func main() {
 			Seed:         *seed,
 			StallEvery:   *stall,
 			YCSB:         *ycsb,
+			ScanLen:      *scanLen,
 			TxnMix:       *txnMix,
 			TxnSize:      *txnSize,
 			TxnNonAtomic: *nonAtomic,
@@ -202,19 +228,23 @@ func main() {
 		}
 		st, err := harness.RunStats(spec, sc.Warmup, sc.Repeats)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "flockbench: %v\n", err)
+			return 1
 		}
 		if *jsonOut {
-			writeJSON(pointRecord{
+			writeJSON(stdout, pointRecord{
 				Figure: "custom", Series: *structure, X: fmt.Sprint(*threads),
 				Mops: st.Mops, Std: st.Std, AllocsPerOp: st.AllocsPerOp,
 				P50ns: st.P50.Nanoseconds(), P95ns: st.P95.Nanoseconds(), P99ns: st.P99.Nanoseconds(),
 			})
-			return
+			return 0
 		}
 		mode := ""
 		if *ycsb != "" {
 			mode = fmt.Sprintf(" ycsb=%s shards=%d", *ycsb, spec.Shards)
+			if *scanLen > 0 {
+				mode += fmt.Sprintf(" scanlen=%d", *scanLen)
+			}
 		}
 		if *txnMix != "" {
 			mode = fmt.Sprintf(" txn=%s size=%d shards=%d", *txnMix, spec.TxnSize, spec.Shards)
@@ -225,13 +255,66 @@ func main() {
 		if *noPool {
 			mode += " nopool"
 		}
-		fmt.Printf("%s threads=%d keys=%d update=%d%% alpha=%.2f blocking=%v stall=%d%s: %.3f Mop/s (±%.3f)  %.2f allocs/op  p50=%s p95=%s p99=%s\n",
+		fmt.Fprintf(stdout, "%s threads=%d keys=%d update=%d%% alpha=%.2f blocking=%v stall=%d%s: %.3f Mop/s (±%.3f)  %.2f allocs/op  p50=%s p95=%s p99=%s\n",
 			*structure, *threads, *keys, *update, *alpha, *blocking, *stall, mode,
 			st.Mops, st.Std, st.AllocsPerOp, fmtLat(st.P50), fmtLat(st.P95), fmtLat(st.P99))
 	default:
-		flag.Usage()
-		os.Exit(2)
+		flags.Usage()
+		return 2
 	}
+	return 0
+}
+
+// printCatalog writes the figure index (ids, series names) and the
+// structure registry — the -list output, reused verbatim by the
+// unknown -figure/-series error paths.
+func printCatalog(w io.Writer) {
+	fmt.Fprintln(w, "figures:")
+	figs := harness.Figures()
+	for _, id := range harness.FigureIDs() {
+		fmt.Fprintf(w, "  %-16s %s\n", id, figs[id].Paper)
+		for _, s := range figs[id].Series {
+			fmt.Fprintf(w, "    %s\n", s.Name)
+		}
+	}
+	fmt.Fprintln(w, "structures:")
+	for _, s := range harness.Structures() {
+		fmt.Fprintf(w, "  %s\n", s)
+	}
+}
+
+// filterSeries restricts a figure spec to the comma-separated series
+// names, preserving the figure's order; an unknown name is an error
+// naming the figure's valid series.
+func filterSeries(fs harness.FigureSpec, names string) (harness.FigureSpec, error) {
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var valid []string
+	var kept []harness.Series
+	for _, s := range fs.Series {
+		valid = append(valid, s.Name)
+		if want[s.Name] {
+			kept = append(kept, s)
+			delete(want, s.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		return fs, fmt.Errorf("unknown series %q for figure %s (valid: %s)",
+			strings.Join(unknown, ","), fs.ID, strings.Join(valid, ", "))
+	}
+	if len(kept) == 0 {
+		return fs, fmt.Errorf("empty -series filter for figure %s (valid: %s)", fs.ID, strings.Join(valid, ", "))
+	}
+	fs.Series = kept
+	return fs, nil
 }
 
 // pointRecord is the -json output schema: one record per measured
@@ -248,17 +331,17 @@ type pointRecord struct {
 	P99ns       int64   `json:"p99_ns"`
 }
 
-func writeJSON(rec pointRecord) {
+func writeJSON(w io.Writer, rec pointRecord) {
 	b, err := json.Marshal(rec)
 	if err != nil {
-		fatalf("encoding point: %v", err)
+		panic(fmt.Sprintf("flockbench: encoding point: %v", err))
 	}
-	fmt.Println(string(b))
+	fmt.Fprintln(w, string(b))
 }
 
-func printFigureJSON(fig harness.Figure) {
+func printFigureJSON(w io.Writer, fig harness.Figure) {
 	for _, pt := range fig.Points {
-		writeJSON(pointRecord{
+		writeJSON(w, pointRecord{
 			Figure: fig.ID, Series: pt.Series, X: pt.X,
 			Mops: pt.Mops, Std: pt.Std, AllocsPerOp: pt.Allocs,
 			P50ns: pt.P50.Nanoseconds(), P95ns: pt.P95.Nanoseconds(), P99ns: pt.P99.Nanoseconds(),
@@ -280,8 +363,8 @@ func orDefault(d, def time.Duration) time.Duration {
 
 // printFigure renders one figure as rows grouped by x value, one column
 // per series — the same rows the paper's plots are drawn from.
-func printFigure(fig harness.Figure, csv bool) {
-	fmt.Printf("\n== %s: %s ==\n", fig.ID, fig.Paper)
+func printFigure(w io.Writer, fig harness.Figure, csv bool) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", fig.ID, fig.Paper)
 	// Collect series order and x order as first encountered.
 	var seriesNames, xs []string
 	seenS := map[string]bool{}
@@ -311,7 +394,7 @@ func printFigure(fig harness.Figure, csv bool) {
 		for _, s := range seriesNames {
 			header = append(header, s+":allocs")
 		}
-		fmt.Println(strings.Join(header, ","))
+		fmt.Fprintln(w, strings.Join(header, ","))
 		for _, x := range xs {
 			row := []string{x}
 			for _, s := range seriesNames {
@@ -327,63 +410,58 @@ func printFigure(fig harness.Figure, csv bool) {
 			for _, s := range seriesNames {
 				row = append(row, fmt.Sprintf("%.2f", vals[[2]string{s, x}].Allocs))
 			}
-			fmt.Println(strings.Join(row, ","))
+			fmt.Fprintln(w, strings.Join(row, ","))
 		}
 		return
 	}
-	w := 0
+	cw := 0
 	for _, s := range seriesNames {
-		if len(s) > w {
-			w = len(s)
+		if len(s) > cw {
+			cw = len(s)
 		}
 	}
-	if w < 20 {
-		w = 20 // room for the p50/p95/p99 triples
+	if cw < 20 {
+		cw = 20 // room for the p50/p95/p99 triples
 	}
-	fmt.Printf("%-12s", fig.XLabel)
+	fmt.Fprintf(w, "%-12s", fig.XLabel)
 	for _, s := range seriesNames {
-		fmt.Printf(" %*s", w, s)
+		fmt.Fprintf(w, " %*s", cw, s)
 	}
-	fmt.Println(" (Mop/s)")
+	fmt.Fprintln(w, " (Mop/s)")
 	for _, x := range xs {
-		fmt.Printf("%-12s", x)
+		fmt.Fprintf(w, "%-12s", x)
 		for _, s := range seriesNames {
-			fmt.Printf(" %*.3f", w, vals[[2]string{s, x}].Mops)
+			fmt.Fprintf(w, " %*.3f", cw, vals[[2]string{s, x}].Mops)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Printf("%-12s", "")
+	fmt.Fprintf(w, "%-12s", "")
 	for _, s := range seriesNames {
-		fmt.Printf(" %*s", w, s)
+		fmt.Fprintf(w, " %*s", cw, s)
 	}
-	fmt.Println(" (p50/p95/p99 µs)")
+	fmt.Fprintln(w, " (p50/p95/p99 µs)")
 	for _, x := range xs {
-		fmt.Printf("%-12s", x)
+		fmt.Fprintf(w, "%-12s", x)
 		for _, s := range seriesNames {
 			pt := vals[[2]string{s, x}]
 			cell := fmt.Sprintf("%.1f/%.1f/%.1f",
 				float64(pt.P50.Nanoseconds())/1e3,
 				float64(pt.P95.Nanoseconds())/1e3,
 				float64(pt.P99.Nanoseconds())/1e3)
-			fmt.Printf(" %*s", w, cell)
+			fmt.Fprintf(w, " %*s", cw, cell)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Printf("%-12s", "")
+	fmt.Fprintf(w, "%-12s", "")
 	for _, s := range seriesNames {
-		fmt.Printf(" %*s", w, s)
+		fmt.Fprintf(w, " %*s", cw, s)
 	}
-	fmt.Println(" (allocs/op)")
+	fmt.Fprintln(w, " (allocs/op)")
 	for _, x := range xs {
-		fmt.Printf("%-12s", x)
+		fmt.Fprintf(w, "%-12s", x)
 		for _, s := range seriesNames {
-			fmt.Printf(" %*.2f", w, vals[[2]string{s, x}].Allocs)
+			fmt.Fprintf(w, " %*.2f", cw, vals[[2]string{s, x}].Allocs)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "flockbench: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUnknownFigureListsValidNames pins the unknown -figure UX: non-zero
+// exit and the -list catalog (every valid figure id) on stderr instead
+// of a bare "unknown figure" message.
+func TestUnknownFigureListsValidNames(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-figure", "fig99"}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("unknown figure exited 0")
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, `unknown figure "fig99"`) {
+		t.Fatalf("stderr does not name the bad figure:\n%s", msg)
+	}
+	for _, id := range []string{"fig4", "fig5a", "ext-ycsb-e", "ext-txn"} {
+		if !strings.Contains(msg, id) {
+			t.Fatalf("stderr does not list valid figure %s:\n%s", id, msg)
+		}
+	}
+}
+
+// TestUnknownSeriesListsValidNames pins the -series path: an unknown
+// series name for a valid figure names the offender, the figure's valid
+// series, and exits non-zero.
+func TestUnknownSeriesListsValidNames(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-figure", "ext-ycsb-e", "-series", "kv-nope"}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("unknown series exited 0")
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, `unknown series "kv-nope"`) {
+		t.Fatalf("stderr does not name the bad series:\n%s", msg)
+	}
+	if !strings.Contains(msg, "kv-leaftree-lf") || !strings.Contains(msg, "kv-olcart") {
+		t.Fatalf("stderr does not list the figure's valid series:\n%s", msg)
+	}
+}
+
+// TestSeriesFilterRuns runs one tiny filtered figure end to end and
+// checks only the requested series appears in the output.
+func TestSeriesFilterRuns(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-figure", "fig7a", "-series", "lazylist-lf",
+		"-duration", "2ms", "-smallkeys", "100", "-largekeys", "200",
+		"-base", "2", "-over", "2", "-csv",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("filtered run failed (%d): %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "lazylist-lf") {
+		t.Fatalf("requested series missing from output:\n%s", got)
+	}
+	if strings.Contains(got, "harris_list") || strings.Contains(got, "dlist-bl") {
+		t.Fatalf("filtered-out series still present:\n%s", got)
+	}
+}
+
+// TestListPrintsCatalog pins -list: zero exit, catalog on stdout.
+func TestListPrintsCatalog(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"figures:", "structures:", "ext-ycsb-e", "olcart", "leaftree"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -218,8 +218,13 @@ type pair struct {
 	c *node
 }
 
-// collect snapshots all present children in byte order. Caller holds
-// n's write lock (or has exclusive access).
+// collect snapshots all present children in byte order. Callers either
+// hold n's write lock (or have exclusive access), or — on the
+// optimistic scan path (scan.go) — run with no lock at all and
+// validate n's version afterwards, discarding the result on a
+// mismatch. The second regime is why every slot/idx/children read here
+// must stay an atomic load: a concurrent locked writer may be mutating
+// the arrays mid-collect.
 func (n *node) collect() []pair {
 	var out []pair
 	switch n.kind {

@@ -155,6 +155,17 @@ var (
 		{Name: "kv-leaftree-lf-1shard", Structure: "leaftree", Blocking: false, Shards: 1},
 		{Name: "kv-hashtable-lf", Structure: "hashtable", Blocking: false},
 	}
+	// Extension: YCSB-E, the scan-heavy workload, needs ordered
+	// structures. Lock-free vs blocking flock scans (restart-free
+	// idempotent scan thunks under shard locks) vs the specialized
+	// optimistic-lock-coupling ART, whose scans restart on interference
+	// — the restart-vs-helping tradeoff of DESIGN.md S12.
+	ycsbESeries = []Series{
+		{Name: "kv-leaftree-lf", Structure: "leaftree", Blocking: false},
+		{Name: "kv-leaftree-bl", Structure: "leaftree", Blocking: true},
+		{Name: "kv-abtree-lf", Structure: "abtree", Blocking: false},
+		{Name: "kv-olcart", Structure: "olcart"},
+	}
 	// The shard sweep compares modes at a fixed oversubscribed thread
 	// count while the x axis varies the shard count.
 	kvShardSeries = []Series{
@@ -477,6 +488,21 @@ func figSpecs() []FigureSpec {
 			},
 		})
 	}
+	// YCSB-E sweeps the maximum scan length at full subscription: longer
+	// scans mean longer critical sections for the flock arms and more
+	// revalidation surface (hence restarts) for the OLC baseline.
+	specs = append(specs, FigureSpec{
+		ID:     "ext-ycsb-e",
+		Paper:  "Extension: YCSB-E (95% scan / 5% insert) on the sharded KV store, zipfian 0.99, scan-length sweep",
+		XLabel: "max scan length",
+		Series: ycsbESeries,
+		Xs:     func(Scale) []string { return []string{"1", "8", "64", "256"} },
+		SpecFor: func(sc Scale, s Series, x string) Spec {
+			sp := ycsbSpec(sc, s, "e", sc.Base, s.Shards)
+			sp.ScanLen = atoi(x)
+			return sp
+		},
+	})
 	// Extension: multi-key atomic transactions (DESIGN.md S11). The
 	// composability claim measured: blocking vs lock-free composed
 	// shard locks vs the non-atomic per-key baseline, under the

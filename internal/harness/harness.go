@@ -118,11 +118,15 @@ type Spec struct {
 	// every n-th critical section (flock structures only): the explicit
 	// form of the oversubscription phenomenon (DESIGN.md S3).
 	StallEvery int
-	// YCSB, when nonempty ("a", "b", "c" or "f"), selects the KV path:
-	// the workload runs Get/Put/ReadModifyWrite against a kv.Store of
-	// Shards shards built over Structure, instead of the paper's
-	// insert/delete/find mix against a bare structure.
+	// YCSB, when nonempty ("a", "b", "c", "e" or "f"), selects the KV
+	// path: the workload runs Get/Put/ReadModifyWrite/Scan against a
+	// kv.Store of Shards shards built over Structure, instead of the
+	// paper's insert/delete/find mix against a bare structure.
 	YCSB string
+	// ScanLen is the maximum scan length for scan-bearing YCSB mixes
+	// ("e"); each scan's length is zipf-drawn from [1, ScanLen]. Values
+	// < 1 mean workload.DefaultScanLen. Ignored without scans.
+	ScanLen int
 	// Shards is the kv.Store shard count for the YCSB path (values < 1
 	// mean 1, the unsharded control). Ignored when YCSB is empty.
 	Shards int
@@ -184,12 +188,16 @@ func NewInstance(spec Spec) (set.Set, *flock.Runtime, error) {
 	return f(rt, spec.KeyRange), rt, nil
 }
 
-// Prefill inserts the deterministic half of [1, KeyRange] (§8: "prefill
-// the data structure with half the keys in the range"), in parallel and
-// in pseudo-random order (ascending order would degenerate the
-// unbalanced trees; the paper's trees are balanced in expectation from
-// random insertion).
-func Prefill(s set.Set, rt *flock.Runtime, spec Spec) {
+// forEachPrefillKey runs the shared prefill loop: the deterministic
+// half of [1, KeyRange] (§8: "prefill the data structure with half the
+// keys in the range"), partitioned across parallel workers by
+// permutation striding — pseudo-random insertion order, because
+// ascending order would degenerate the unbalanced trees (the paper's
+// trees are balanced in expectation from random insertion). setup runs
+// once per worker goroutine and returns that worker's insert function
+// (called with each prefill key, already hashed under spec.HashKeys)
+// and its teardown.
+func forEachPrefillKey(spec Spec, setup func() (put func(k uint64), done func())) {
 	workers := runtime.GOMAXPROCS(0) * 2
 	if workers > 8 {
 		workers = 8
@@ -200,21 +208,30 @@ func Prefill(s set.Set, rt *flock.Runtime, spec Spec) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			p := rt.Register()
-			defer p.Unregister()
+			put, done := setup()
+			defer done()
 			for i := uint64(w) + 1; i <= spec.KeyRange; i += uint64(workers) {
 				k := perm.Apply(i)
 				if spec.HashKeys {
 					if hk, in := workload.PrefillKeyHashed(k); in {
-						s.Insert(p, hk, hk)
+						put(hk)
 					}
 				} else if workload.PrefillKey(k) {
-					s.Insert(p, k, k)
+					put(k)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+}
+
+// Prefill inserts the deterministic half of [1, KeyRange] into a bare
+// structure (see forEachPrefillKey).
+func Prefill(s set.Set, rt *flock.Runtime, spec Spec) {
+	forEachPrefillKey(spec, func() (func(k uint64), func()) {
+		p := rt.Register()
+		return func(k uint64) { s.Insert(p, k, k) }, p.Unregister
+	})
 }
 
 // RunTimed builds, prefills and measures one spec: the paper's set mix
@@ -263,51 +280,76 @@ func RunTimed(spec Spec) (Result, error) {
 }
 
 // NewKVInstance builds the sharded KV store for a YCSB spec (exported
-// for the root benchmarks, which drive their own worker loops).
+// for the root benchmarks, which drive their own worker loops). A
+// scan-bearing mix (YCSB-E) over a structure without ordered scans
+// (set.Scanner) is refused here, before any prefilling.
 func NewKVInstance(spec Spec) (*kv.Store, error) {
 	f, ok := registry[spec.Structure]
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown structure %q (have %v)", spec.Structure, Structures())
 	}
-	if _, err := workload.NewYCSB(spec.YCSB, spec.KeyRange, spec.Alpha, spec.HashKeys, spec.Seed); err != nil {
+	probe, err := workload.NewYCSB(spec.YCSB, spec.KeyRange, spec.Alpha, spec.HashKeys, spec.Seed)
+	if err != nil {
 		return nil, err
 	}
-	return kv.New(kv.Factory(f), kv.Options{
+	st := kv.New(kv.Factory(f), kv.Options{
 		Shards:   spec.Shards,
 		Blocking: spec.Blocking,
 		NoPool:   spec.NoPool,
 		KeyRange: spec.KeyRange,
-	}), nil
+	})
+	if probe.HasScans() && !st.Scannable() {
+		return nil, fmt.Errorf("harness: YCSB-%s has scans but structure %q does not implement set.Scanner (ordered structures only)",
+			spec.YCSB, spec.Structure)
+	}
+	return st, nil
+}
+
+// NewYCSBMix builds one worker's generator for a YCSB spec, with the
+// spec's scan-length bound applied — the single constructor both the
+// harness driver and the root benchmarks use.
+func NewYCSBMix(spec Spec, worker uint64) (*workload.YCSB, error) {
+	mix, err := workload.NewYCSB(spec.YCSB, spec.KeyRange, spec.Alpha,
+		spec.HashKeys, spec.Seed+worker*0x9e3779b9)
+	if err != nil {
+		return nil, err
+	}
+	mix.SetMaxScanLen(spec.ScanLen)
+	return mix, nil
+}
+
+// ApplyYCSBOp applies one generated KV operation to the client — the
+// shared dispatch, mirroring ApplyTxnOp, so the harness driver and the
+// root benchmarks can never silently measure different operations for
+// the same mix. n is the worker's operation counter (salts write
+// values). Unknown kinds panic: a new YCSBOp must be wired here, not
+// absorbed as a read.
+func ApplyYCSBOp(c *kv.Client, mix *workload.YCSB, op workload.YCSBOp, k, n uint64) {
+	switch op {
+	case workload.YRead:
+		c.Get(k)
+	case workload.YUpdate, workload.YInsert:
+		c.Put(k, k+n)
+	case workload.YRMW:
+		c.ReadModifyWrite(k, func(old uint64, _ bool) uint64 { return old + 1 })
+	case workload.YScan:
+		// YCSB-E semantics: the next ScanLen() records from k upward
+		// (an open upper bound plus a limit, not a fixed key interval —
+		// the key space is only half dense).
+		c.Scan(k, math.MaxUint64, mix.ScanLen())
+	default:
+		panic(fmt.Sprintf("harness: unhandled YCSBOp %v", op))
+	}
 }
 
 // PrefillKV loads the deterministic half of [1, KeyRange] into the
-// store (same coin and parallel shuffled order as Prefill).
+// store (same coin and parallel shuffled order as Prefill; see
+// forEachPrefillKey).
 func PrefillKV(st *kv.Store, spec Spec) {
-	workers := runtime.GOMAXPROCS(0) * 2
-	if workers > 8 {
-		workers = 8
-	}
-	perm := workload.NewPermutation(spec.KeyRange, spec.Seed^0x5eed)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			c := st.Register()
-			defer c.Close()
-			for i := uint64(w) + 1; i <= spec.KeyRange; i += uint64(workers) {
-				k := perm.Apply(i)
-				if spec.HashKeys {
-					if hk, in := workload.PrefillKeyHashed(k); in {
-						c.Put(hk, hk)
-					}
-				} else if workload.PrefillKey(k) {
-					c.Put(k, k)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+	forEachPrefillKey(spec, func() (func(k uint64), func()) {
+		c := st.Register()
+		return func(k uint64) { c.Put(k, k) }, c.Close
+	})
 }
 
 // runTimedKV measures one YCSB point against a sharded kv.Store.
@@ -322,8 +364,7 @@ func runTimedKV(spec Spec) (Result, error) {
 	return measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
 		c := st.Register()
 		defer c.Close()
-		mix, err := workload.NewYCSB(spec.YCSB, spec.KeyRange, spec.Alpha,
-			spec.HashKeys, spec.Seed+uint64(w)*0x9e3779b9)
+		mix, err := NewYCSBMix(spec, uint64(w))
 		if err != nil {
 			return 0, err
 		}
@@ -332,14 +373,7 @@ func runTimedKV(spec Spec) (Result, error) {
 		for !stop.Load() {
 			op, k := mix.Next()
 			t0 := time.Now()
-			switch op {
-			case workload.YUpdate:
-				c.Put(k, k+n)
-			case workload.YRMW:
-				c.ReadModifyWrite(k, func(old uint64, _ bool) uint64 { return old + 1 })
-			default:
-				c.Get(k)
-			}
+			ApplyYCSBOp(c, mix, op, k, n)
 			hist.Record(time.Since(t0))
 			n++
 		}

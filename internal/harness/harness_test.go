@@ -62,10 +62,11 @@ func TestUnknownYCSBWorkloadRejected(t *testing.T) {
 // TestYCSBKVPath runs a tiny YCSB point end to end: ops complete, the
 // latency histogram is populated, and percentiles are ordered.
 func TestYCSBKVPath(t *testing.T) {
-	for _, ycsb := range []string{"a", "b", "c", "f"} {
+	for _, ycsb := range []string{"a", "b", "c", "e", "f"} {
 		spec := Spec{
 			Structure: "leaftree", Threads: 4, KeyRange: 256, Alpha: 0.99,
 			Duration: 20 * time.Millisecond, Seed: 5, YCSB: ycsb, Shards: 4,
+			ScanLen: 8,
 		}
 		res, err := RunTimed(spec)
 		if err != nil {
@@ -80,6 +81,25 @@ func TestYCSBKVPath(t *testing.T) {
 		p50, p95, p99 := res.P50(), res.P95(), res.P99()
 		if p50 <= 0 || p50 > p95 || p95 > p99 {
 			t.Fatalf("ycsb-%s: disordered percentiles p50=%v p95=%v p99=%v", ycsb, p50, p95, p99)
+		}
+	}
+}
+
+// TestScanWorkloadNeedsOrderedStructure: YCSB-E over a structure
+// without set.Scanner must be refused up front with an explanatory
+// error, not panic mid-run.
+func TestScanWorkloadNeedsOrderedStructure(t *testing.T) {
+	_, err := NewKVInstance(Spec{Structure: "hashtable", Threads: 1, KeyRange: 64,
+		Duration: time.Millisecond, YCSB: "e", Shards: 2})
+	if err == nil {
+		t.Fatalf("scan-bearing mix over an unordered structure accepted")
+	}
+	// The ordered structures (and olcart, the baseline arm) must pass
+	// the same gate.
+	for _, s := range []string{"leaftree", "abtree", "olcart"} {
+		if _, err := NewKVInstance(Spec{Structure: s, Threads: 1, KeyRange: 64,
+			Duration: time.Millisecond, YCSB: "e", Shards: 2}); err != nil {
+			t.Fatalf("%s refused for YCSB-E: %v", s, err)
 		}
 	}
 }
@@ -208,7 +228,7 @@ func TestFigureIndexComplete(t *testing.T) {
 	want := []string{"fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
 		"fig5f", "fig5g", "fig5h", "fig6a", "fig6b", "fig7a", "fig7b", "ext-stall",
 		"ext-alloc", "ext-txn", "ext-txn-keys", "ext-ycsb-a", "ext-ycsb-b",
-		"ext-ycsb-c", "ext-ycsb-f", "ext-ycsb-shards"}
+		"ext-ycsb-c", "ext-ycsb-e", "ext-ycsb-f", "ext-ycsb-shards"}
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures, want %d", len(figs), len(want))
 	}

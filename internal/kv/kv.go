@@ -67,6 +67,7 @@ type shard struct {
 	rt *flock.Runtime
 	s  set.Set
 	up set.Upserter // nil when s has no native upsert
+	sc set.Scanner  // nil when s is not ordered (no range scans)
 	// lck serializes transactional access to this shard (internal/txn
 	// acquires the locks of every touched shard in ascending index
 	// order, nested, inside one composed thunk). It lives here, with
@@ -80,6 +81,7 @@ type shard struct {
 type Store struct {
 	shards []shard
 	native bool
+	scan   bool           // every shard implements set.Scanner
 	rt     *flock.Runtime // non-nil iff Options.SharedRuntime
 	// clients counts live handles (monitoring/tests only).
 	clients atomic.Int64
@@ -96,7 +98,7 @@ func New(f Factory, opt Options) *Store {
 		kr = 1 << 16
 	}
 	perShard := kr/uint64(n) + 1
-	st := &Store{shards: make([]shard, n), native: true}
+	st := &Store{shards: make([]shard, n), native: true, scan: true}
 	var fopts []flock.Option
 	if opt.NoPool {
 		fopts = append(fopts, flock.NoPool())
@@ -116,7 +118,11 @@ func New(f Factory, opt Options) *Store {
 		if up == nil {
 			st.native = false
 		}
-		st.shards[i] = shard{rt: rt, s: s, up: up}
+		sc, _ := s.(set.Scanner)
+		if sc == nil {
+			st.scan = false
+		}
+		st.shards[i] = shard{rt: rt, s: s, up: up, sc: sc}
 	}
 	return st
 }

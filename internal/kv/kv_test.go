@@ -1,6 +1,9 @@
 package kv_test
 
 import (
+	"math"
+	"sort"
+	"sync"
 	"testing"
 
 	flock "flock/internal/core"
@@ -10,6 +13,7 @@ import (
 	"flock/internal/structures/lazylist"
 	"flock/internal/structures/leaftree"
 	"flock/internal/structures/set"
+	"flock/internal/txn"
 	"flock/internal/workload"
 )
 
@@ -132,6 +136,162 @@ func TestUnshardedControlAgrees(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestScanModelAcrossShards drives random puts/deletes/scans against an
+// 8-shard store (and the shared-runtime variant) and compares every
+// scan exactly against a map model: hash routing scatters each interval
+// over all shards, so this exercises the scatter-gather merge
+// end to end. Sequentially a scan must be an exact snapshot.
+func TestScanModelAcrossShards(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		c := kv.New(leaftreeFactory, kv.Options{Shards: 8, KeyRange: 512, SharedRuntime: shared}).Register()
+		model := map[uint64]uint64{}
+		rng := workload.NewSplitMix64(17)
+		for i := 0; i < 2500; i++ {
+			switch rng.Next() % 4 {
+			case 0, 1:
+				k, v := rng.Next()%256+1, rng.Next()
+				c.Put(k, v)
+				model[k] = v
+			case 2:
+				k := rng.Next()%256 + 1
+				c.Delete(k)
+				delete(model, k)
+			default:
+				lo := rng.Next() % 300
+				hi := lo + rng.Next()%300
+				limit := 0
+				if rng.Next()%2 == 0 {
+					limit = int(rng.Next()%20) + 1
+				}
+				got := c.Scan(lo, hi, limit)
+				var want []set.KV
+				for k, v := range model {
+					if k >= lo && k <= hi {
+						want = append(want, set.KV{Key: k, Value: v})
+					}
+				}
+				sort.Slice(want, func(a, b int) bool { return want[a].Key < want[b].Key })
+				if limit > 0 && len(want) > limit {
+					want = want[:limit]
+				}
+				if len(got) != len(want) {
+					t.Fatalf("shared=%v op %d: Scan(%d,%d,%d) = %d pairs, want %d", shared, i, lo, hi, limit, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("shared=%v op %d: Scan(%d,%d,%d)[%d] = %v, want %v", shared, i, lo, hi, limit, j, got[j], want[j])
+					}
+				}
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestScanSentinelBoundsAndLimit pins the open-interval sentinels and
+// the cross-shard merge order: with keys scattered over 8 shards, a
+// limited full-range scan must return the globally smallest keys.
+func TestScanSentinelBoundsAndLimit(t *testing.T) {
+	c := kv.New(leaftreeFactory, kv.Options{Shards: 8, KeyRange: 256}).Register()
+	defer c.Close()
+	for k := uint64(1); k <= 100; k++ {
+		c.Put(k, k*3)
+	}
+	got := c.Scan(0, math.MaxUint64, 0)
+	if len(got) != 100 {
+		t.Fatalf("full scan returned %d pairs, want 100", len(got))
+	}
+	for i, kv := range got {
+		if kv.Key != uint64(i+1) || kv.Value != uint64(i+1)*3 {
+			t.Fatalf("full scan[%d] = %v, want key %d", i, kv, i+1)
+		}
+	}
+	ten := c.Scan(0, math.MaxUint64, 10)
+	if len(ten) != 10 || ten[0].Key != 1 || ten[9].Key != 10 {
+		t.Fatalf("limit-10 scan = %v, want keys 1..10 in order", ten)
+	}
+	if sub := c.Scan(40, 49, 0); len(sub) != 10 || sub[0].Key != 40 || sub[9].Key != 49 {
+		t.Fatalf("sub-range scan = %v, want keys 40..49", sub)
+	}
+}
+
+// TestScannableDetection: ordered structures report Scannable and scan;
+// unordered ones report false and Scan panics.
+func TestScannableDetection(t *testing.T) {
+	if !kv.New(leaftreeFactory, kv.Options{Shards: 2}).Scannable() {
+		t.Fatalf("leaftree store should be scannable")
+	}
+	st := kv.New(hashtableFactory, kv.Options{Shards: 2})
+	if st.Scannable() {
+		t.Fatalf("hashtable store should not be scannable")
+	}
+	c := st.Register()
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Scan on a non-scannable store did not panic")
+		}
+	}()
+	c.Scan(1, 10, 0)
+}
+
+// TestScanSerializesWithTransactions is the composed-lock atomicity
+// check: on a shared-runtime store a scan holds every shard lock at
+// once, so concurrent multi-shard Transfers can never tear it — every
+// full scan of the account pool must see the conserved total balance.
+func TestScanSerializesWithTransactions(t *testing.T) {
+	const accounts = 64
+	const initial = 100
+	st := txn.New(leaftreeFactory, txn.Options{Shards: 4, KeyRange: accounts})
+	seed := st.KV().Register()
+	for k := uint64(1); k <= accounts; k++ {
+		seed.Put(k, initial)
+	}
+	seed.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := st.Register()
+			defer c.Close()
+			rng := workload.NewSplitMix64(uint64(w)*77 + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := rng.Next()%accounts + 1
+				b := rng.Next()%accounts + 1
+				c.Transfer(a, b, rng.Next()%5)
+			}
+		}(w)
+	}
+
+	scanner := st.KV().Register()
+	for i := 0; i < 300; i++ {
+		got := scanner.Scan(0, math.MaxUint64, 0)
+		if len(got) != accounts {
+			t.Errorf("scan %d saw %d accounts, want %d", i, len(got), accounts)
+			break
+		}
+		var sum uint64
+		for _, kv := range got {
+			sum += kv.Value
+		}
+		if sum != accounts*initial {
+			t.Errorf("scan %d saw torn total %d, want %d", i, sum, accounts*initial)
+			break
+		}
+	}
+	scanner.Close()
+	close(stop)
+	wg.Wait()
 }
 
 func TestPutBatchLengthMismatchPanics(t *testing.T) {

@@ -1,0 +1,172 @@
+// Range scans over the sharded store. Hash routing scatters every key
+// interval across all shards, so a scan is a scatter-gather: each
+// shard's ordered structure is scanned under that shard's lock — locks
+// acquired in ascending shard order, the transaction layer's nesting
+// protocol — and the per-shard sorted runs are merged by key up to the
+// limit. See DESIGN.md S12.
+
+package kv
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	flock "flock/internal/core"
+	"flock/internal/structures/set"
+)
+
+// Scannable reports whether every shard's structure supports ordered
+// range scans (set.Scanner). Scan panics on a non-scannable store.
+func (st *Store) Scannable() bool { return st.scan }
+
+// NestShardLocks runs body inside a composed critical section holding
+// every listed shard lock, nesting TryLock calls in ascending order.
+// This is the transaction protocol's acquisition step (DESIGN.md S11),
+// owned here so internal/txn and the scan path share one
+// implementation: the sort order makes acquisition deadlock-free, and
+// in lock-free mode a thread that finds a shard lock held helps the
+// holder's entire composed critical section before reporting failure.
+// It reports false when any acquisition failed (the caller retries with
+// a fresh body); shards must be sorted ascending and duplicate-free.
+// body runs on whichever Proc executes the innermost thunk and must
+// publish its results idempotently (DESIGN.md S7/S11); p must belong to
+// the runtime that owns every listed shard (with Options.SharedRuntime,
+// any registered Proc).
+func (st *Store) NestShardLocks(p *flock.Proc, shards []int, body func(hp *flock.Proc)) bool {
+	p.Begin()
+	defer p.End()
+	var nest func(hp *flock.Proc, i int) bool
+	nest = func(hp *flock.Proc, i int) bool {
+		if i == len(shards) {
+			body(hp)
+			return true
+		}
+		return st.shards[shards[i]].lck.TryLock(hp, func(hp2 *flock.Proc) bool {
+			return nest(hp2, i+1)
+		})
+	}
+	return nest(p, 0)
+}
+
+// scanBackoff paces shard-lock retries (helping already happened inside
+// the failed TryLock, so a short yield is all that is useful).
+func scanBackoff(attempt int) {
+	if attempt >= 2 {
+		runtime.Gosched()
+	}
+}
+
+// Scan returns up to limit key-value pairs with lo <= key <= hi, merged
+// in ascending key order across every shard (limit <= 0 means
+// unbounded; 0 and MaxUint64 are the open-interval bound sentinels, see
+// set.ClampScanBounds). Each shard contributes a run collected by the
+// structure's scan thunk while that shard's lock is held. On a
+// shared-runtime store all shard locks are held at once (one composed
+// critical section, so the scan is atomic with respect to multi-key
+// transactions); on a per-shard-runtime store the shards are scanned
+// one at a time in ascending order, each under its own lock, giving the
+// structures' interval semantics shard by shard. Plain single-key
+// Client operations never take shard locks, so the result is weakly
+// consistent with respect to them either way: every returned pair was
+// present, and every missing in-range key absent, at some instant
+// during the scan.
+//
+// Scan panics if the store's structure does not implement set.Scanner
+// (see Scannable).
+func (c *Client) Scan(lo, hi uint64, limit int) []set.KV {
+	st := c.st
+	if !st.scan {
+		panic(fmt.Sprintf("kv: Scan on a store whose structure (%T) does not implement set.Scanner", st.shards[0].s))
+	}
+	parts := make([][]set.KV, len(st.shards))
+	if st.rt != nil {
+		// Shared runtime: one composed critical section over all shards.
+		shards := make([]int, len(st.shards))
+		for i := range shards {
+			shards[i] = i
+		}
+		for attempt := 0; ; attempt++ {
+			// A fresh buffer per attempt: a straggling helper replaying a
+			// failed attempt must publish into that attempt's buffer, not
+			// a later one's (DESIGN.md S11).
+			buf := &atomic.Pointer[[][]set.KV]{}
+			ok := st.NestShardLocks(c.procs[0], shards, func(hp *flock.Proc) {
+				// Run-local collection, idempotently published: every run
+				// recomputes identical runs from logged loads.
+				out := make([][]set.KV, len(st.shards))
+				for i := range st.shards {
+					out[i] = st.shards[i].sc.Scan(hp, lo, hi, limit)
+				}
+				buf.Store(&out)
+			})
+			if ok {
+				parts = *buf.Load()
+				break
+			}
+			scanBackoff(attempt)
+		}
+	} else {
+		// Per-shard runtimes: ascending one-shard critical sections.
+		for i := range st.shards {
+			sh, p := &st.shards[i], c.procs[i]
+			for attempt := 0; ; attempt++ {
+				buf := &atomic.Pointer[[]set.KV]{}
+				ok := st.NestShardLocks(p, []int{i}, func(hp *flock.Proc) {
+					out := sh.sc.Scan(hp, lo, hi, limit)
+					buf.Store(&out)
+				})
+				if ok {
+					parts[i] = *buf.Load()
+					break
+				}
+				scanBackoff(attempt)
+			}
+		}
+	}
+	return mergeRuns(parts, limit)
+}
+
+// mergeRuns merges sorted per-shard runs into one ascending result of
+// at most limit pairs. Shard routing partitions the key space, so no
+// key appears in two runs.
+func mergeRuns(parts [][]set.KV, limit int) []set.KV {
+	total := 0
+	nonEmpty := 0
+	for _, r := range parts {
+		total += len(r)
+		if len(r) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty <= 1 {
+		for _, r := range parts {
+			if len(r) > 0 {
+				if limit > 0 && len(r) > limit {
+					r = r[:limit]
+				}
+				return r
+			}
+		}
+		return nil
+	}
+	if limit <= 0 || limit > total {
+		limit = total
+	}
+	out := make([]set.KV, 0, limit)
+	idx := make([]int, len(parts))
+	for len(out) < limit {
+		best := -1
+		for i, r := range parts {
+			if idx[i] < len(r) && (best == -1 || r[idx[i]].Key < parts[best][idx[best]].Key) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

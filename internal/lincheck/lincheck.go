@@ -28,13 +28,16 @@ type Kind uint8
 // prior state (Ok = was present, Val = prior value, Arg = value
 // written) — the shape of both native Upsert and ReadModifyWrite; KPut
 // is a blind upsert that observed only prior presence (Ok), as returned
-// by kv's Put.
+// by kv's Put. KScan is a range-scan observation (set.Scanner): its
+// result rides in Op.Scan and is checked against interval snapshots —
+// see Check.
 const (
 	KInsert Kind = iota
 	KDelete
 	KFind
 	KUpsert
 	KPut
+	KScan
 )
 
 func (k Kind) String() string {
@@ -47,6 +50,8 @@ func (k Kind) String() string {
 		return "upsert"
 	case KPut:
 		return "put"
+	case KScan:
+		return "scan"
 	default:
 		return "find"
 	}
@@ -54,7 +59,8 @@ func (k Kind) String() string {
 
 // Op is one completed operation with its observation window: Start is
 // taken just before the call, End just after, from one global counter,
-// so End_a < Start_b proves a completed before b began.
+// so End_a < Start_b proves a completed before b began. A KScan op uses
+// Lo/Hi/Limit/Scan instead of the single-key fields.
 type Op struct {
 	Kind   Kind
 	Key    uint64
@@ -64,6 +70,10 @@ type Op struct {
 	Start  int64
 	End    int64
 	Worker int
+
+	Lo, Hi uint64   // KScan: requested bounds (sentinels allowed)
+	Limit  int      // KScan: requested limit (<= 0 unbounded)
+	Scan   []set.KV // KScan: the returned pairs
 }
 
 // Recorder wraps a set.Set and records every completed operation.
@@ -125,6 +135,23 @@ func (h *Handle) Upsert(p *flock.Proc, k, v uint64) (uint64, bool) {
 		Kind: KUpsert, Key: k, Arg: v, Ok: present, Val: old, Start: start, End: end, Worker: h.w,
 	})
 	return old, present
+}
+
+// Scan records a range-scan observation; it panics if the wrapped set
+// does not implement set.Scanner.
+func (h *Handle) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	sc, ok := h.r.s.(set.Scanner)
+	if !ok {
+		panic("lincheck: wrapped set does not implement set.Scanner")
+	}
+	start := h.r.clock.Add(1)
+	res := sc.Scan(p, lo, hi, limit)
+	end := h.r.clock.Add(1)
+	h.r.hists[h.w] = append(h.r.hists[h.w], Op{
+		Kind: KScan, Lo: lo, Hi: hi, Limit: limit, Scan: res,
+		Start: start, End: end, Worker: h.w,
+	})
+	return res
 }
 
 // Find records a find.
@@ -193,26 +220,99 @@ func (c cell) step(op Op) (cell, bool) {
 	}
 }
 
-// CheckResult reports the verdict and, on failure, the offending key.
+// CheckResult reports the verdict and, on failure, the offending key
+// (or, for a structurally invalid scan result, a Reason).
 type CheckResult struct {
 	Ok       bool
 	BadKey   uint64
-	BadCount int // ops on the failing key
+	BadCount int    // ops on the failing key
+	Reason   string // non-empty for structural scan violations
 }
 
 func (cr CheckResult) String() string {
 	if cr.Ok {
 		return "linearizable"
 	}
+	if cr.Reason != "" {
+		return "NOT linearizable: " + cr.Reason
+	}
 	return fmt.Sprintf("NOT linearizable: key %d (%d ops)", cr.BadKey, cr.BadCount)
 }
 
 // Check verifies the history is linearizable with respect to set
 // semantics starting from the empty set.
+//
+// KScan operations are checked against interval snapshots, the
+// consistency contract of set.Scanner: a scan's result must be sorted,
+// in bounds and within its limit (structural checks), and then each
+// per-key observation it makes — key k reported with value v, or an
+// in-range key missing from the result — must hold at some
+// linearization point inside the scan's own invocation window, chosen
+// independently per key. That is exactly the per-key decomposition the
+// checker already uses, so each scan expands into one synthesized find
+// observation per key of the scanned interval (keys past the
+// limit-truncation point claim nothing). A scan that would only be
+// explicable by an atomic multi-key snapshot is deliberately not
+// required — no structure here provides one (DESIGN.md S12).
 func Check(history []Op) CheckResult {
 	perKey := map[uint64][]Op{}
+	var scans []Op
 	for _, op := range history {
+		if op.Kind == KScan {
+			scans = append(scans, op)
+			continue
+		}
 		perKey[op.Key] = append(perKey[op.Key], op)
+	}
+	if len(scans) > 0 {
+		// The observable key universe: every key any operation or scan
+		// result touched. A never-touched key is trivially absent and
+		// adds no constraint.
+		keys := map[uint64]bool{}
+		for k := range perKey {
+			keys[k] = true
+		}
+		for _, s := range scans {
+			for _, kv := range s.Scan {
+				keys[kv.Key] = true
+			}
+		}
+		for _, s := range scans {
+			lo, hi := set.ClampScanBounds(s.Lo, s.Hi)
+			prev := uint64(0) // real keys are >= 1
+			for _, kv := range s.Scan {
+				if kv.Key < lo || kv.Key > hi {
+					return CheckResult{Reason: fmt.Sprintf("scan [%d,%d] returned out-of-bounds key %d", s.Lo, s.Hi, kv.Key)}
+				}
+				if kv.Key <= prev {
+					return CheckResult{Reason: fmt.Sprintf("scan result not strictly ascending at key %d", kv.Key)}
+				}
+				prev = kv.Key
+			}
+			if s.Limit > 0 && len(s.Scan) > s.Limit {
+				return CheckResult{Reason: fmt.Sprintf("scan returned %d pairs over limit %d", len(s.Scan), s.Limit)}
+			}
+			// A limit-truncated scan observes nothing past its last
+			// returned key: those keys were simply never reached.
+			effHi := hi
+			if s.Limit > 0 && len(s.Scan) == s.Limit {
+				effHi = s.Scan[len(s.Scan)-1].Key
+			}
+			res := map[uint64]uint64{}
+			for _, kv := range s.Scan {
+				res[kv.Key] = kv.Value
+			}
+			for k := range keys {
+				if k < lo || k > effHi {
+					continue
+				}
+				v, ok := res[k]
+				perKey[k] = append(perKey[k], Op{
+					Kind: KFind, Key: k, Ok: ok, Val: v,
+					Start: s.Start, End: s.End, Worker: s.Worker,
+				})
+			}
+		}
 	}
 	for k, ops := range perKey {
 		if !checkKey(ops) {

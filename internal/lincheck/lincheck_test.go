@@ -1,6 +1,11 @@
 package lincheck
 
-import "testing"
+import (
+	"math"
+	"testing"
+
+	"flock/internal/structures/set"
+)
 
 // seqOp builds an op with a closed window [t, t+1] at sequential times.
 func seqOp(kind Kind, key uint64, ok bool, t int64) Op {
@@ -138,6 +143,131 @@ func TestLongHistory(t *testing.T) {
 func TestEmptyHistory(t *testing.T) {
 	if res := Check(nil); !res.Ok {
 		t.Fatalf("empty history rejected")
+	}
+}
+
+// scanOp builds a KScan op over [lo, hi] with the given result.
+func scanOp(lo, hi uint64, limit int, res []set.KV, start, end int64) Op {
+	return Op{Kind: KScan, Lo: lo, Hi: hi, Limit: limit, Scan: res, Start: start, End: end}
+}
+
+func TestScanSequentialHistory(t *testing.T) {
+	h := []Op{
+		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+		{Kind: KInsert, Key: 3, Arg: 30, Ok: true, Start: 3, End: 4},
+		{Kind: KInsert, Key: 5, Arg: 50, Ok: true, Start: 5, End: 6},
+		// Full-range scan via the open-interval sentinels.
+		scanOp(0, math.MaxUint64, 0, []set.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}, {Key: 5, Value: 50}}, 7, 8),
+		// Sub-range scan.
+		scanOp(2, 4, 0, []set.KV{{Key: 3, Value: 30}}, 9, 10),
+		{Kind: KDelete, Key: 3, Ok: true, Start: 11, End: 12},
+		// After the delete, 3 must be gone.
+		scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}, {Key: 5, Value: 50}}, 13, 14),
+		// Limit truncation observes nothing past the last returned key:
+		// missing 5 is fine here.
+		scanOp(0, math.MaxUint64, 1, []set.KV{{Key: 1, Value: 10}}, 15, 16),
+	}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("valid scan history rejected: %v", res)
+	}
+}
+
+func TestRejectsScanPhantomKey(t *testing.T) {
+	h := []Op{
+		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+		scanOp(0, math.MaxUint64, 0, []set.KV{{Key: 1, Value: 10}, {Key: 2, Value: 7}}, 3, 4),
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("scan reporting a never-inserted key accepted")
+	}
+}
+
+func TestRejectsScanMissedKey(t *testing.T) {
+	// Key 2 was durably present before the scan began and never deleted;
+	// the scan's window offers no point at which it was absent.
+	h := []Op{
+		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+		{Kind: KInsert, Key: 2, Arg: 20, Ok: true, Start: 3, End: 4},
+		scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}}, 5, 6),
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("scan missing a stable in-range key accepted")
+	}
+	if res := Check(h); res.BadKey != 2 {
+		t.Fatalf("miss attributed to key %d, want 2", Check(h).BadKey)
+	}
+}
+
+func TestRejectsScanStaleValue(t *testing.T) {
+	h := []Op{
+		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+		{Kind: KUpsert, Key: 1, Arg: 20, Ok: true, Val: 10, Start: 3, End: 4},
+		scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}}, 5, 6), // stale value
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("scan reporting a stale value accepted")
+	}
+}
+
+func TestScanIntervalSemantics(t *testing.T) {
+	// A delete of key 1 and an insert of key 3 both overlap the scan's
+	// window. Interval semantics let the scan observe key 1 before the
+	// delete and key 3 after the insert — per-key points, no single
+	// atomic snapshot required.
+	h := []Op{
+		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+		{Kind: KDelete, Key: 1, Ok: true, Start: 5, End: 20},
+		{Kind: KInsert, Key: 3, Arg: 30, Ok: true, Start: 5, End: 20},
+		scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}}, 6, 19),
+	}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("interval-consistent scan rejected: %v", res)
+	}
+	// Either key may equally have been observed on the other side.
+	h[3].Scan = nil
+	if res := Check(h); !res.Ok {
+		t.Fatalf("interval-consistent empty scan rejected: %v", res)
+	}
+}
+
+func TestRejectsStructurallyInvalidScan(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+	}{
+		{"unsorted", scanOp(1, 5, 0, []set.KV{{Key: 3, Value: 30}, {Key: 1, Value: 10}}, 5, 6)},
+		{"out-of-bounds", scanOp(2, 5, 0, []set.KV{{Key: 1, Value: 10}}, 5, 6)},
+		{"over-limit", scanOp(1, 5, 1, []set.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}}, 5, 6)},
+		{"duplicate", scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}, {Key: 1, Value: 10}}, 5, 6)},
+	}
+	for _, tc := range cases {
+		h := []Op{
+			{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+			{Kind: KInsert, Key: 3, Arg: 30, Ok: true, Start: 3, End: 4},
+			tc.op,
+		}
+		res := Check(h)
+		if res.Ok {
+			t.Fatalf("%s scan accepted", tc.name)
+		}
+		if res.Reason == "" {
+			t.Fatalf("%s scan rejected without a structural reason: %v", tc.name, res)
+		}
+	}
+}
+
+func TestRejectsScanLimitSkippedKey(t *testing.T) {
+	// A limit-2 scan returning keys 1 and 3 claims key 2 was absent
+	// (it lies below the truncation point); with 2 durably present the
+	// history is illegal.
+	h := []Op{
+		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
+		{Kind: KInsert, Key: 2, Arg: 20, Ok: true, Start: 3, End: 4},
+		{Kind: KInsert, Key: 3, Arg: 30, Ok: true, Start: 5, End: 6},
+		scanOp(1, 5, 2, []set.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}}, 7, 8),
+	}
+	if res := Check(h); res.Ok {
+		t.Fatalf("limit-truncated scan that skipped a present key accepted")
 	}
 }
 

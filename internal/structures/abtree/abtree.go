@@ -15,9 +15,11 @@ package abtree
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	flock "flock/internal/core"
+	"flock/internal/structures/set"
 )
 
 const (
@@ -205,6 +207,52 @@ func (t *Tree) Delete(p *flock.Proc, k uint64) bool {
 			return true
 		}
 	}
+}
+
+// Scan implements set.Scanner: an in-order walk of the children whose
+// covering interval ([keys[i-1], keys[i])) intersects [lo, hi],
+// collecting the qualifying slice of each intersecting leaf. Key arrays
+// are immutable and nodes are replaced copy-on-write, so each loaded
+// node is a point snapshot of its interval (interval semantics, as in
+// leaftree). The body is a single idempotent thunk: logged loads,
+// run-local accumulation, no locks taken.
+func (t *Tree) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	lo, hi = set.ClampScanBounds(lo, hi)
+	p.Begin()
+	defer p.End()
+	var out []set.KV
+	var walk func(n *node) bool // false once limit is reached
+	walk = func(n *node) bool {
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+			for ; i < len(n.keys) && n.keys[i] <= hi; i++ {
+				out = append(out, set.KV{Key: n.keys[i], Value: n.vals[i]})
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+			}
+			return true
+		}
+		clo := uint64(0)
+		for i := range n.children {
+			chi := uint64(math.MaxUint64)
+			if i < len(n.keys) {
+				chi = n.keys[i] // child i covers [clo, chi)
+			}
+			// Intersects iff clo <= hi and lo < chi (chi is exclusive;
+			// the last child's chi of MaxUint64 always exceeds the
+			// clamped lo).
+			if clo <= hi && lo < chi {
+				if !walk(n.children[i].Load(p)) {
+					return false
+				}
+			}
+			clo = chi
+		}
+		return true
+	}
+	walk(t.entry.children[0].Load(p))
+	return out
 }
 
 // splitChild splits full node cur (a child of par at parIdx) into two

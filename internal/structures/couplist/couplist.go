@@ -24,6 +24,7 @@ import (
 	"math"
 
 	flock "flock/internal/core"
+	"flock/internal/structures/set"
 )
 
 type node struct {
@@ -152,6 +153,34 @@ func (l *List) Delete(p *flock.Proc, k uint64) bool {
 			}
 		}
 	}
+}
+
+// Scan implements set.Scanner. Like Find, the scan is optimistic even
+// though updates couple locks: writers only ever splice at positions
+// they reached by coupling from the head, so a spliced-out node's next
+// pointer is frozen and the removed flag makes each reported pair's
+// presence instant well defined (interval semantics, DESIGN.md S12).
+// The body is a single idempotent thunk: logged loads, run-local
+// accumulation, no locks taken.
+func (l *List) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	lo, hi = set.ClampScanBounds(lo, hi)
+	p.Begin()
+	defer p.End()
+	var out []set.KV
+	curr := l.head.next.Load(p)
+	for curr.k < lo {
+		curr = curr.next.Load(p)
+	}
+	for curr.k <= hi { // the tail sentinel MaxUint64 always exceeds hi
+		if !curr.removed.Load(p) {
+			out = append(out, set.KV{Key: curr.k, Value: curr.v})
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+		curr = curr.next.Load(p)
+	}
+	return out
 }
 
 // Keys returns a snapshot of the keys (single-threaded use).

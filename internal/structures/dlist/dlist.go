@@ -12,6 +12,7 @@ import (
 	"math"
 
 	flock "flock/internal/core"
+	"flock/internal/structures/set"
 )
 
 // link is the paper's struct link.
@@ -118,6 +119,31 @@ func (l *List) Delete(p *flock.Proc, k uint64) bool {
 			return true // success
 		}
 	}
+}
+
+// Scan implements set.Scanner: a forward traversal of the next chain
+// from the first link with key >= lo, skipping removed links. As with
+// lazylist, a removed link's next pointer is frozen (any operation on
+// its successor needs its lock, whose validation fails once removed), so
+// the traversal stays on (at worst slightly stale) list structure and
+// the interval-semantics contract of set.Scanner holds. The body is a
+// single idempotent thunk: logged loads, run-local accumulation.
+func (l *List) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	lo, hi = set.ClampScanBounds(lo, hi)
+	p.Begin()
+	defer p.End()
+	var out []set.KV
+	curr := l.findLink(p, lo)
+	for curr.k <= hi { // the tail sentinel MaxUint64 always exceeds hi
+		if !curr.removed.Load(p) {
+			out = append(out, set.KV{Key: curr.k, Value: curr.v})
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+		curr = curr.next.Load(p)
+	}
+	return out
 }
 
 // Keys returns the forward-traversal key snapshot (single-threaded use).

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	flock "flock/internal/core"
+	"flock/internal/structures/set"
 )
 
 // node is one link. Key and value are constants (written before
@@ -126,6 +127,30 @@ func (l *List) Delete(p *flock.Proc, k uint64) bool {
 		// Lock was busy or validation failed: someone made progress;
 		// re-traverse (the key may now be gone).
 	}
+}
+
+// Scan implements set.Scanner: an optimistic forward traversal from the
+// first node with key >= lo, skipping nodes whose removed flag is set
+// (each reported pair was present at the instant its removed flag read
+// false). The body is a single idempotent thunk — only logged loads and
+// run-local accumulation — so nested inside a composed critical section
+// every helper replay collects the identical pairs (DESIGN.md S12).
+func (l *List) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	lo, hi = set.ClampScanBounds(lo, hi)
+	p.Begin()
+	defer p.End()
+	var out []set.KV
+	_, curr := l.locate(p, lo)
+	for curr.k <= hi { // the tail sentinel MaxUint64 always exceeds hi
+		if !curr.removed.Load(p) {
+			out = append(out, set.KV{Key: curr.k, Value: curr.v})
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+		curr = curr.next.Load(p)
+	}
+	return out
 }
 
 // Keys returns a snapshot of the keys (single-threaded use: tests and

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	flock "flock/internal/core"
+	"flock/internal/structures/set"
 )
 
 // LeafCap is the number of key-value pairs per leaf block: 8 pairs of
@@ -207,6 +208,44 @@ func (t *Tree) Delete(p *flock.Proc, k uint64) bool {
 			return true
 		}
 	}
+}
+
+// Scan implements set.Scanner: an in-order walk of the routing tree
+// pruned to [lo, hi], collecting the qualifying slice of each
+// intersecting leaf block. Blocks are immutable and replaced
+// copy-on-write, so each loaded block is a consistent point snapshot of
+// its key interval (interval semantics across blocks, as in leaftree).
+// The body is a single idempotent thunk: logged loads, run-local
+// accumulation. The clamped hi is below the inf2 root sentinel, so the
+// root's (always empty) right block is never visited.
+func (t *Tree) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	lo, hi = set.ClampScanBounds(lo, hi)
+	p.Begin()
+	defer p.End()
+	var out []set.KV
+	var walk func(n *node) bool // false once limit is reached
+	walk = func(n *node) bool {
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+			for ; i < len(n.keys) && n.keys[i] <= hi; i++ {
+				out = append(out, set.KV{Key: n.keys[i], Value: n.vals[i]})
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+			}
+			return true
+		}
+		// n.left covers keys < n.k, n.right covers keys >= n.k.
+		if lo < n.k && !walk(n.left.Load(p)) {
+			return false
+		}
+		if hi >= n.k {
+			return walk(n.right.Load(p))
+		}
+		return true
+	}
+	walk(t.root)
+	return out
 }
 
 // Keys returns the sorted key snapshot (single-threaded use).

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	flock "flock/internal/core"
+	"flock/internal/structures/set"
 )
 
 const (
@@ -237,6 +238,45 @@ func (t *Tree) Upsert(p *flock.Proc, k uint64, f func(old uint64, present bool) 
 			return 0, false
 		}
 	}
+}
+
+// Scan implements set.Scanner: an in-order walk of the subtrees whose
+// routing interval intersects [lo, hi], collecting qualifying leaves.
+// Leaves and routing keys are immutable and subtrees are replaced
+// copy-on-write, so every loaded child pointer pins a subtree that was
+// the live one at the instant of the load — each reported pair was
+// present at that instant, and a missing in-range key was absent at the
+// instant the (then-live) subtree excluding it was loaded (interval
+// semantics). The body is a single idempotent thunk: logged loads only,
+// run-local accumulation, no locks taken. The inf1/inf2 sentinel leaves
+// route above every clamped bound and are never reported.
+func (t *Tree) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	lo, hi = set.ClampScanBounds(lo, hi)
+	p.Begin()
+	defer p.End()
+	var out []set.KV
+	var walk func(n *node) bool // false once limit is reached
+	walk = func(n *node) bool {
+		if n.leaf {
+			if n.k >= lo && n.k <= hi && n.k < inf1 {
+				out = append(out, set.KV{Key: n.k, Value: n.v})
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+			}
+			return true
+		}
+		// n.left covers keys < n.k, n.right covers keys >= n.k.
+		if lo < n.k && !walk(n.left.Load(p)) {
+			return false
+		}
+		if hi >= n.k {
+			return walk(n.right.Load(p))
+		}
+		return true
+	}
+	walk(t.root)
+	return out
 }
 
 func maxKey(a, b uint64) uint64 {

@@ -1,12 +1,22 @@
 // Package set defines the common interface implemented by every
 // concurrent set in this repository: the paper's workloads are sets of
-// 8-byte keys with 8-byte values supporting insert, delete and lookup.
+// 8-byte keys with 8-byte values supporting insert, delete and lookup,
+// and — for the ordered structures — range scans.
 //
 // Keys must lie in [1, math.MaxUint64-1]: the extreme values are reserved
-// for sentinels by several structures.
+// for sentinels by several structures. Scan bounds are deliberately wider
+// than the key space: 0 and math.MaxUint64 are open-interval sentinels
+// ("from the smallest key" / "to the largest key") that can never name a
+// real key, so ClampScanBounds folds them into the reserved-sentinel key
+// bounds [1, MaxUint64-1] and no scan can ever observe a structure's
+// internal sentinel nodes.
 package set
 
-import flock "flock/internal/core"
+import (
+	"math"
+
+	flock "flock/internal/core"
+)
 
 // Set is a concurrent unordered or ordered set with associated values.
 // All methods take the calling worker's Proc; implementations that do not
@@ -19,6 +29,49 @@ type Set interface {
 	Delete(p *flock.Proc, k uint64) bool
 	// Find returns the value associated with k, if present.
 	Find(p *flock.Proc, k uint64) (uint64, bool)
+}
+
+// KV is one key-value pair returned by a range scan, in key order.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// Scanner is optionally implemented by ordered sets. Scan returns the
+// key-value pairs with lo <= key <= hi in strictly ascending key order,
+// at most limit of them (limit <= 0 means unbounded). The bounds are
+// first clamped by ClampScanBounds, so the open-interval sentinels 0 and
+// math.MaxUint64 are always safe to pass and reserved sentinel keys are
+// never returned.
+//
+// Consistency contract (interval semantics): a scan runs as a single
+// idempotent thunk — a pure traversal over logged loads with run-local
+// accumulation — so it may execute at top level (no lock) or nested
+// inside a composed critical section (kv.Scan runs it under shard
+// locks), and helper replays recompute the identical result. Concurrent
+// mutations make a top-level scan weakly consistent rather than an
+// atomic snapshot: every returned pair was present at some instant
+// during the scan, and every in-range key missing from the result was
+// absent at some instant during the scan, but different keys may be
+// observed at different instants (lincheck checks exactly this, per
+// key, against the scan's invocation window; DESIGN.md S12).
+type Scanner interface {
+	// Scan collects the pairs in [lo, hi], ascending, up to limit.
+	Scan(p *flock.Proc, lo, hi uint64, limit int) []KV
+}
+
+// ClampScanBounds folds the open-interval scan sentinels into the key
+// space shared by every structure: lo 0 becomes 1 and hi MaxUint64
+// becomes MaxUint64-1, so [0, MaxUint64] means "everything" and no
+// structure-reserved sentinel key can fall inside the scanned interval.
+func ClampScanBounds(lo, hi uint64) (uint64, uint64) {
+	if lo == 0 {
+		lo = 1
+	}
+	if hi == math.MaxUint64 {
+		hi = math.MaxUint64 - 1
+	}
+	return lo, hi
 }
 
 // Upserter is optionally implemented by sets that can apply an atomic

@@ -13,7 +13,10 @@
 package settest
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -37,11 +40,16 @@ var Modes = []struct {
 
 // Run executes the full suite against the factory. Structures that
 // implement set.Upserter additionally get upsert model and upsert
-// linearizability passes.
+// linearizability passes; structures that implement set.Scanner (the
+// ordered structures) additionally get the scan conformance passes:
+// sequential model scans, the sentinel-bounds pin, the
+// concurrent-mutation differential against a mutex-protected map, and
+// scan linearizability (interval semantics) through lincheck.
 func Run(t *testing.T, f Factory) {
 	t.Helper()
 	probe, _ := newSet(f, false)
 	_, upsertable := probe.(set.Upserter)
+	_, scannable := probe.(set.Scanner)
 	for _, m := range Modes {
 		t.Run(m.Name, func(t *testing.T) {
 			t.Run("SequentialModel", func(t *testing.T) { sequentialModel(t, f, m.Blocking) })
@@ -59,6 +67,12 @@ func Run(t *testing.T, f Factory) {
 				t.Run("UpsertModel", func(t *testing.T) { upsertModel(t, f, m.Blocking) })
 				t.Run("UpsertLinearizable", func(t *testing.T) { upsertLinearizable(t, f, m.Blocking) })
 				t.Run("UpsertCounter", func(t *testing.T) { upsertCounter(t, f, m.Blocking) })
+			}
+			if scannable {
+				t.Run("ScanModel", func(t *testing.T) { scanModel(t, f, m.Blocking) })
+				t.Run("ScanSentinelBounds", func(t *testing.T) { scanSentinelBounds(t, f, m.Blocking) })
+				t.Run("ScanConcurrentDifferential", func(t *testing.T) { scanConcurrentDifferential(t, f, m.Blocking) })
+				t.Run("ScanLinearizable", func(t *testing.T) { scanLinearizable(t, f, m.Blocking) })
 			}
 		})
 	}
@@ -490,6 +504,322 @@ func upsertCounter(t *testing.T, f Factory, blocking bool) {
 	}
 	if total != workers*opsPer {
 		t.Fatalf("lost updates: counted %d increments, want %d", total, workers*opsPer)
+	}
+}
+
+// expectedScan computes a model's answer to Scan(lo, hi, limit).
+func expectedScan(model map[uint64]uint64, lo, hi uint64, limit int) []set.KV {
+	clo, chi := set.ClampScanBounds(lo, hi)
+	var out []set.KV
+	for k, v := range model {
+		if k >= clo && k <= chi {
+			out = append(out, set.KV{Key: k, Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// scanModel drives one worker through inserts, deletes and scans with
+// random bounds and limits, comparing every scan exactly against the
+// map model (sequentially a scan must be an exact snapshot).
+func scanModel(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	sc := s.(set.Scanner)
+	p := rt.Register()
+	defer p.Unregister()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(23))
+
+	const ops = 3000
+	const keySpace = 160
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			k := uint64(rng.Intn(keySpace) + 1)
+			v := rng.Uint64()
+			if _, had := model[k]; !had {
+				model[k] = v
+			}
+			s.Insert(p, k, v)
+		case 2:
+			k := uint64(rng.Intn(keySpace) + 1)
+			s.Delete(p, k)
+			delete(model, k)
+		default:
+			lo := uint64(rng.Intn(keySpace + 1))
+			hi := lo + uint64(rng.Intn(keySpace))
+			if rng.Intn(8) == 0 {
+				lo, hi = 0, math.MaxUint64 // open-interval sentinels
+			}
+			limit := 0
+			if rng.Intn(2) == 0 {
+				limit = rng.Intn(12) + 1
+			}
+			got := sc.Scan(p, lo, hi, limit)
+			want := expectedScan(model, lo, hi, limit)
+			if len(got) != len(want) {
+				t.Fatalf("op %d: Scan(%d,%d,%d) = %d pairs, want %d", i, lo, hi, limit, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("op %d: Scan(%d,%d,%d)[%d] = %v, want %v", i, lo, hi, limit, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// scanSentinelBounds pins the open-interval sentinel contract
+// (set.ClampScanBounds): bounds 0 and MaxUint64 mean "everything", keys
+// at the extreme ends of the shared key space are reachable, and no
+// structure-internal sentinel key ever leaks into a result.
+func scanSentinelBounds(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	sc := s.(set.Scanner)
+	p := rt.Register()
+	defer p.Unregister()
+	// MaxUint64-2 is the largest key every structure accepts (leaftree
+	// additionally reserves MaxUint64-1 as its inf1 sentinel).
+	maxKey := uint64(math.MaxUint64 - 2)
+	for _, k := range []uint64{1, 5, maxKey} {
+		if !s.Insert(p, k, k+100) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	check := func(lo, hi uint64, limit int, want ...uint64) {
+		t.Helper()
+		got := sc.Scan(p, lo, hi, limit)
+		if len(got) != len(want) {
+			t.Fatalf("Scan(%d,%d,%d) = %v, want keys %v", lo, hi, limit, got, want)
+		}
+		for i, kv := range got {
+			if kv.Key != want[i] || kv.Value != want[i]+100 {
+				t.Fatalf("Scan(%d,%d,%d)[%d] = %v, want key %d", lo, hi, limit, i, kv, want[i])
+			}
+		}
+	}
+	check(0, math.MaxUint64, 0, 1, 5, maxKey) // fully open
+	check(1, math.MaxUint64-1, 0, 1, 5, maxKey)
+	check(0, 4, 0, 1)                   // open below only
+	check(6, math.MaxUint64, 0, maxKey) // open above only
+	check(maxKey, maxKey, 0, maxKey)
+	check(2, 4, 0)
+	check(0, math.MaxUint64, 2, 1, 5) // limit truncation
+	check(0, 0, 0)                    // hi 0 is not a sentinel: [1, 0] is empty
+}
+
+// scanConcurrentDifferential is the concurrent-mutation differential:
+// even keys are stable (inserted once, never touched again), odd keys
+// are mutated by their owning workers, and every mutation is mirrored
+// into a mutex-protected model map. Scans running throughout must be
+// sorted, bounded, limited, exact on stable keys and plausible on
+// volatile keys; the final full scan must equal the model exactly.
+func scanConcurrentDifferential(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	sc := s.(set.Scanner)
+	const workers = 6
+	const keySpace = 192 // keys 1..keySpace; even = stable, odd = volatile
+	opsPer := 1200
+	if testing.Short() {
+		opsPer = 300
+	}
+
+	var mu sync.Mutex
+	model := map[uint64]uint64{}
+
+	{
+		p := rt.Register()
+		for k := uint64(2); k <= keySpace; k += 2 {
+			s.Insert(p, k, k) // stable value: the key itself
+			model[k] = k
+		}
+		p.Unregister()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(w)*607 + 13))
+			for i := 0; i < opsPer; i++ {
+				// Worker w owns odd keys with (k/2) % workers == w.
+				k := uint64(2*(w+workers*rng.Intn(keySpace/(2*workers))) + 1)
+				if rng.Intn(2) == 0 {
+					v := k | uint64(rng.Intn(1<<16)+1)<<32 // low 32 bits name the key
+					if s.Insert(p, k, v) {
+						mu.Lock()
+						model[k] = v
+						mu.Unlock()
+					}
+				} else {
+					if s.Delete(p, k) {
+						mu.Lock()
+						delete(model, k)
+						mu.Unlock()
+					}
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// Scanners run until the mutators finish, checking the weak
+	// (interval-semantics) properties that hold mid-flight.
+	var scanErr error
+	var scanMu sync.Mutex
+	fail := func(format string, args ...any) {
+		scanMu.Lock()
+		if scanErr == nil {
+			scanErr = fmt.Errorf(format, args...)
+		}
+		scanMu.Unlock()
+	}
+	var swg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		swg.Add(1)
+		go func(g int) {
+			defer swg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(g)*991 + 3))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				lo := uint64(rng.Intn(keySpace)) + 1
+				hi := lo + uint64(rng.Intn(keySpace))
+				limit := 0
+				if rng.Intn(3) == 0 {
+					limit = rng.Intn(24) + 1
+				}
+				got := sc.Scan(p, lo, hi, limit)
+				if limit > 0 && len(got) > limit {
+					fail("scan over limit: %d > %d", len(got), limit)
+					return
+				}
+				prev := uint64(0)
+				for _, kv := range got {
+					if kv.Key < lo || kv.Key > hi {
+						fail("scan [%d,%d] returned key %d", lo, hi, kv.Key)
+						return
+					}
+					if kv.Key <= prev {
+						fail("scan result unsorted at %d", kv.Key)
+						return
+					}
+					prev = kv.Key
+					if kv.Key > keySpace {
+						fail("scan invented key %d", kv.Key)
+						return
+					}
+					if kv.Key%2 == 0 {
+						if kv.Value != kv.Key {
+							fail("stable key %d has value %d", kv.Key, kv.Value)
+							return
+						}
+					} else if kv.Value&0xffffffff != kv.Key || kv.Value>>32 == 0 {
+						fail("volatile key %d has implausible value %#x", kv.Key, kv.Value)
+						return
+					}
+				}
+				// Stable keys are never mutated: every one in the scanned
+				// (possibly limit-truncated) interval must appear.
+				effHi := hi
+				if limit > 0 && len(got) == limit {
+					effHi = got[len(got)-1].Key
+				}
+				seen := map[uint64]bool{}
+				for _, kv := range got {
+					seen[kv.Key] = true
+				}
+				for k := lo + (lo % 2); k <= effHi && k <= keySpace; k += 2 {
+					if !seen[k] {
+						fail("scan [%d,%d] limit %d missed stable key %d", lo, hi, limit, k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	swg.Wait()
+	if scanErr != nil {
+		t.Fatal(scanErr)
+	}
+
+	// Quiesced: the final full scan must equal the model exactly.
+	p := rt.Register()
+	defer p.Unregister()
+	got := sc.Scan(p, 0, math.MaxUint64, 0)
+	want := expectedScan(model, 0, math.MaxUint64, 0)
+	if len(got) != len(want) {
+		t.Fatalf("final scan: %d pairs, model has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("final scan[%d] = %v, model %v", i, got[i], want[i])
+		}
+	}
+}
+
+// scanLinearizable records contended histories mixing scans with
+// inserts and deletes and checks them with lincheck's interval-snapshot
+// Scan semantics.
+func scanLinearizable(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	const workers = 6
+	const keys = 6
+	opsPer := 200
+	if testing.Short() {
+		opsPer = 80
+	}
+	rec := lincheck.NewRecorder(s, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := rec.Worker(w)
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(w)*1201 + 17))
+			for i := 0; i < opsPer; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				switch rng.Intn(5) {
+				case 0:
+					h.Insert(p, k, uint64(w)*100000+uint64(i))
+				case 1:
+					h.Delete(p, k)
+				case 2:
+					h.Find(p, k)
+				case 3:
+					lo := uint64(rng.Intn(keys)) + 1
+					hi := lo + uint64(rng.Intn(keys))
+					limit := 0
+					if rng.Intn(3) == 0 {
+						limit = rng.Intn(keys) + 1
+					}
+					h.Scan(p, lo, hi, limit)
+				default:
+					h.Scan(p, 0, math.MaxUint64, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hist := rec.History()
+	if res := lincheck.Check(hist); !res.Ok {
+		t.Fatalf("history of %d ops: %v", len(hist), res)
 	}
 }
 

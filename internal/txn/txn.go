@@ -222,21 +222,10 @@ func (c *Client) shardsOf(idxSets ...[]int) []int {
 // order. It reports false when any acquisition failed (after helping
 // the conflicting holder to completion, in lock-free mode); the caller
 // retries. body runs on whichever Proc executes the innermost thunk.
+// The nesting itself lives on kv.Store (NestShardLocks) so the scan
+// path and the transaction layer share one protocol implementation.
 func (c *Client) acquireSorted(shards []int, body func(hp *flock.Proc)) bool {
-	p := c.p
-	p.Begin()
-	defer p.End()
-	var nest func(hp *flock.Proc, i int) bool
-	nest = func(hp *flock.Proc, i int) bool {
-		if i == len(shards) {
-			body(hp)
-			return true
-		}
-		return c.st.kv.ShardLock(shards[i]).TryLock(hp, func(hp2 *flock.Proc) bool {
-			return nest(hp2, i+1)
-		})
-	}
-	return nest(p, 0)
+	return c.st.kv.NestShardLocks(c.p, shards, body)
 }
 
 // backoff spins-then-yields with per-client jitter between acquisition

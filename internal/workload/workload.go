@@ -99,6 +99,22 @@ func (z *Zipf) Next(rng *SplitMix64) uint64 {
 	if uz < 1.0+math.Pow(0.5, z.theta) {
 		return 2
 	}
+	if z.theta == 1 {
+		// The harmonic edge: Gray's spread exponent alpha = 1/(1-theta)
+		// is +Inf at theta = 1 and eta degenerates to 0, which would
+		// evaluate to 1 + n*pow(1, +Inf) = n+1 — out of range — for
+		// every draw that reaches this branch. Substitute the theta->1
+		// limit of the same continuous inverse CDF: density 1/x over
+		// [1, n] has CDF ln(x)/ln(n), so rank = n^u.
+		r := uint64(math.Pow(float64(z.n), u))
+		if r < 1 {
+			r = 1
+		}
+		if r > z.n {
+			r = z.n
+		}
+		return r
+	}
 	return 1 + uint64(float64(z.n)*math.Pow(z.eta*u-z.eta+1.0, z.alpha))
 }
 

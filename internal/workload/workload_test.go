@@ -117,6 +117,53 @@ func TestZipfSkewMatchesTheory(t *testing.T) {
 	}
 }
 
+// TestZipfHarmonicThetaOne pins the theta=1.0 harmonic edge between the
+// theta=0 fast path and the generic Gray path: the spread exponent
+// alpha = 1/(1-theta) diverges there (and eta degenerates to 0), which
+// used to evaluate most draws to n+1 — out of range. The fixed
+// generator must stay in [1, n] with the harmonic head ratio
+// P(1)/P(2) = 2^theta = 2.
+func TestZipfHarmonicThetaOne(t *testing.T) {
+	const n = 1000
+	z := NewZipf(n, 1.0)
+	rng := NewSplitMix64(5)
+	var c1, c2, top int
+	const draws = 300000
+	for i := 0; i < draws; i++ {
+		k := z.Next(rng)
+		if k < 1 || k > n {
+			t.Fatalf("draw %d outside [1, %d] at theta=1.0", k, n)
+		}
+		switch k {
+		case 1:
+			c1++
+		case 2:
+			c2++
+		}
+		if k <= 10 {
+			top++
+		}
+	}
+	if ratio := float64(c1) / float64(c2); ratio < 2*0.85 || ratio > 2*1.15 {
+		t.Fatalf("P(1)/P(2) = %.3f at theta=1.0, want ~2", ratio)
+	}
+	// Head concentration: under the harmonic law the top 10 ranks carry
+	// zeta(10)/zeta(1000) ~ 39%% of the mass.
+	if share := float64(top) / draws; share < 0.30 || share > 0.50 {
+		t.Fatalf("top-10 mass %.3f at theta=1.0, want ~0.39", share)
+	}
+
+	// The single-rank degenerate case must be constant at every skew.
+	for _, theta := range []float64{0, 0.99, 1.0} {
+		z1 := NewZipf(1, theta)
+		for i := 0; i < 1000; i++ {
+			if k := z1.Next(rng); k != 1 {
+				t.Fatalf("n=1 theta=%v drew %d, want 1", theta, k)
+			}
+		}
+	}
+}
+
 func TestZipfRanksInRange(t *testing.T) {
 	err := quick.Check(func(seed uint64, nRaw uint16, thetaRaw uint8) bool {
 		n := uint64(nRaw%1000) + 2

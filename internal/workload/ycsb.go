@@ -6,11 +6,15 @@ import "fmt"
 type YCSBOp uint8
 
 // YCSB operation kinds: reads map to kv Get, updates to kv Put (blind
-// upsert), and read-modify-writes to kv ReadModifyWrite.
+// upsert), read-modify-writes to kv ReadModifyWrite, inserts to kv Put
+// of a fresh zipf-drawn key, and scans to kv Scan starting at the drawn
+// key (ScanLen supplies the length of each scan).
 const (
 	YRead YCSBOp = iota
 	YUpdate
 	YRMW
+	YInsert
+	YScan
 )
 
 func (o YCSBOp) String() string {
@@ -19,29 +23,43 @@ func (o YCSBOp) String() string {
 		return "read"
 	case YUpdate:
 		return "update"
-	default:
+	case YRMW:
 		return "rmw"
+	case YInsert:
+		return "insert"
+	default:
+		return "scan"
 	}
 }
 
 // ycsbMix is one workload's operation percentages (they sum to 100).
 type ycsbMix struct {
-	read, update, rmw int
+	read, update, rmw, insert, scan int
 }
 
 // ycsbMixes holds the core YCSB workloads as op-mix specs. A: 50/50
-// read/update; B: 95/5 read/update; C: read-only; F: 50/50
-// read/read-modify-write. (D and E need latest-distribution and scan
-// support and are out of scope here.)
+// read/update; B: 95/5 read/update; C: read-only; E: 95/5 scan/insert
+// (short ranges, the scan-heavy workload); F: 50/50
+// read/read-modify-write. (D needs a latest distribution and remains
+// out of scope.)
 var ycsbMixes = map[string]ycsbMix{
 	"a": {read: 50, update: 50},
 	"b": {read: 95, update: 5},
 	"c": {read: 100},
+	"e": {scan: 95, insert: 5},
 	"f": {read: 50, rmw: 50},
 }
 
 // YCSBWorkloads returns the supported workload names in order.
-func YCSBWorkloads() []string { return []string{"a", "b", "c", "f"} }
+func YCSBWorkloads() []string { return []string{"a", "b", "c", "e", "f"} }
+
+// DefaultScanLen is the default maximum scan length for scan-bearing
+// workloads (YCSB-E's standard short-range default).
+const DefaultScanLen = 16
+
+// scanLenTheta skews scan lengths toward short scans, YCSB's zipfian
+// scanlength distribution (the key skew parameter stays independent).
+const scanLenTheta = 0.99
 
 // YCSB generates one worker's deterministic YCSB operation stream: keys
 // drawn zipfian from [1, keyRange] (theta = 0 uniform, per Zipf), ops
@@ -49,13 +67,16 @@ func YCSBWorkloads() []string { return []string{"a", "b", "c", "f"} }
 // keys through Hash64 for trie-shaped structures.
 type YCSB struct {
 	zipf     *Zipf
+	lens     *Zipf // scan lengths in [1, maxScan]; nil until needed
+	maxScan  int
 	mix      ycsbMix
 	hashKeys bool
 	rng      *SplitMix64
 }
 
 // NewYCSB builds a per-worker generator for the named workload ("a",
-// "b", "c" or "f"); each worker passes a distinct seed.
+// "b", "c", "e" or "f"); each worker passes a distinct seed. Scan
+// lengths default to [1, DefaultScanLen]; see SetMaxScanLen.
 func NewYCSB(name string, keyRange uint64, theta float64, hashKeys bool, seed uint64) (*YCSB, error) {
 	mix, ok := ycsbMixes[name]
 	if !ok {
@@ -63,10 +84,38 @@ func NewYCSB(name string, keyRange uint64, theta float64, hashKeys bool, seed ui
 	}
 	return &YCSB{
 		zipf:     NewZipf(keyRange, theta),
+		maxScan:  DefaultScanLen,
 		mix:      mix,
 		hashKeys: hashKeys,
 		rng:      NewSplitMix64(seed),
 	}, nil
+}
+
+// HasScans reports whether the workload's mix contains scan operations
+// (so callers can refuse structures without ordered-scan support before
+// starting the run).
+func (y *YCSB) HasScans() bool { return y.mix.scan > 0 }
+
+// SetMaxScanLen bounds the zipf-drawn scan lengths to [1, n] (n < 1
+// means DefaultScanLen). Call before drawing; the length distribution
+// is built lazily on the first scan op.
+func (y *YCSB) SetMaxScanLen(n int) {
+	if n < 1 {
+		n = DefaultScanLen
+	}
+	y.maxScan = n
+	y.lens = nil
+}
+
+// ScanLen draws the next scan's length from the zipfian scanlength
+// distribution over [1, max] — skewed toward short scans, degenerating
+// to the constant 1 when max is 1. Callers invoke it once per YScan op,
+// keeping the stream deterministic.
+func (y *YCSB) ScanLen() int {
+	if y.lens == nil {
+		y.lens = NewZipf(uint64(y.maxScan), scanLenTheta)
+	}
+	return int(y.lens.Next(y.rng))
 }
 
 // Next returns the next operation and key.
@@ -76,12 +125,17 @@ func (y *YCSB) Next() (YCSBOp, uint64) {
 	if y.hashKeys {
 		k = Hash64(k) | 1 // keep nonzero
 	}
+	m := y.mix
 	switch c := int(r % 100); {
-	case c < y.mix.read:
+	case c < m.read:
 		return YRead, k
-	case c < y.mix.read+y.mix.update:
+	case c < m.read+m.update:
 		return YUpdate, k
-	default:
+	case c < m.read+m.update+m.rmw:
 		return YRMW, k
+	case c < m.read+m.update+m.rmw+m.insert:
+		return YInsert, k
+	default:
+		return YScan, k
 	}
 }

@@ -3,7 +3,7 @@ package workload
 import "testing"
 
 func TestYCSBUnknownWorkloadRejected(t *testing.T) {
-	if _, err := NewYCSB("e", 100, 0.99, false, 1); err == nil {
+	if _, err := NewYCSB("z", 100, 0.99, false, 1); err == nil {
 		t.Fatalf("unsupported workload accepted")
 	}
 	if _, err := NewYCSB("", 100, 0.99, false, 1); err == nil {
@@ -12,11 +12,12 @@ func TestYCSBUnknownWorkloadRejected(t *testing.T) {
 }
 
 func TestYCSBMixProportions(t *testing.T) {
-	want := map[string][3]int{ // read, update, rmw percentages
-		"a": {50, 50, 0},
-		"b": {95, 5, 0},
-		"c": {100, 0, 0},
-		"f": {50, 0, 50},
+	want := map[string][5]int{ // read, update, rmw, insert, scan percentages
+		"a": {50, 50, 0, 0, 0},
+		"b": {95, 5, 0, 0, 0},
+		"c": {100, 0, 0, 0, 0},
+		"e": {0, 0, 0, 5, 95},
+		"f": {50, 0, 50, 0, 0},
 	}
 	const draws = 100000
 	for _, name := range YCSBWorkloads() {
@@ -24,7 +25,10 @@ func TestYCSBMixProportions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var got [3]int
+		if y.HasScans() != (want[name][4] > 0) {
+			t.Fatalf("%s: HasScans() = %v", name, y.HasScans())
+		}
+		var got [5]int
 		for i := 0; i < draws; i++ {
 			op, k := y.Next()
 			if k < 1 || k > 1000 {
@@ -37,6 +41,66 @@ func TestYCSBMixProportions(t *testing.T) {
 			if share < float64(pct)-2 || share > float64(pct)+2 {
 				t.Fatalf("%s: op %d share %.1f%%, want ~%d%%", name, i, share, pct)
 			}
+		}
+	}
+}
+
+// TestYCSBScanLengths pins the scanlength distribution: every draw in
+// [1, max], skewed toward short scans, and deterministic per seed.
+func TestYCSBScanLengths(t *testing.T) {
+	y, err := NewYCSB("e", 1000, 0.99, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y.SetMaxScanLen(64)
+	short, draws := 0, 20000
+	for i := 0; i < draws; i++ {
+		l := y.ScanLen()
+		if l < 1 || l > 64 {
+			t.Fatalf("scan length %d outside [1, 64]", l)
+		}
+		if l <= 8 {
+			short++
+		}
+	}
+	// Zipf(0.99) concentrates mass at the head: lengths <= 8 should
+	// dominate (uniform would put them at 12.5%).
+	if float64(short)/float64(draws) < 0.5 {
+		t.Fatalf("scanlength distribution not short-skewed: %d/%d <= 8", short, draws)
+	}
+
+	a, _ := NewYCSB("e", 1000, 0.99, false, 42)
+	b, _ := NewYCSB("e", 1000, 0.99, false, 42)
+	a.SetMaxScanLen(32)
+	b.SetMaxScanLen(32)
+	for i := 0; i < 500; i++ {
+		opA, kA := a.Next()
+		opB, kB := b.Next()
+		if opA != opB || kA != kB {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+		if opA == YScan && a.ScanLen() != b.ScanLen() {
+			t.Fatalf("scan lengths diverged at step %d", i)
+		}
+	}
+}
+
+// TestYCSBScanLenDegenerate pins the max=1 edge (satellite of the
+// theta=1.0 Zipf fix): the length distribution over [1, 1] must return
+// exactly 1 forever, for any skew, and values < 1 fall back to the
+// default bound.
+func TestYCSBScanLenDegenerate(t *testing.T) {
+	y, _ := NewYCSB("e", 100, 0, false, 9)
+	y.SetMaxScanLen(1)
+	for i := 0; i < 5000; i++ {
+		if l := y.ScanLen(); l != 1 {
+			t.Fatalf("degenerate scan length draw %d, want 1", l)
+		}
+	}
+	y.SetMaxScanLen(0)
+	for i := 0; i < 5000; i++ {
+		if l := y.ScanLen(); l < 1 || l > DefaultScanLen {
+			t.Fatalf("default scan length draw %d outside [1, %d]", l, DefaultScanLen)
 		}
 	}
 }
