@@ -116,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stall     = flags.Int("stall", 0, "single-point: inject a deschedule every N critical sections")
 		ycsb      = flags.String("ycsb", "", "single-point: run a YCSB workload (a, b, c, e, f) against the sharded KV store")
 		scanLen   = flags.Int("scanlen", 0, "single-point: max zipf-drawn scan length for scan-bearing YCSB mixes (-ycsb e; 0 = default)")
+		optimist  = flags.Bool("optimistic", false, "single-point: route KV reads through the version-validated optimistic arm (-ycsb/-txn)")
 		txnMix    = flags.String("txn", "", "single-point: run a transactional workload (transfer, ycsbt) against the txn layer")
 		txnSize   = flags.Int("txnsize", 2, "single-point: keys per multi-key transaction (-txn)")
 		nonAtomic = flags.Bool("nonatomic", false, "single-point: per-key non-atomic arm of the txn layer (-txn)")
@@ -218,6 +219,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			StallEvery:   *stall,
 			YCSB:         *ycsb,
 			ScanLen:      *scanLen,
+			Optimistic:   *optimist,
 			TxnMix:       *txnMix,
 			TxnSize:      *txnSize,
 			TxnNonAtomic: *nonAtomic,
@@ -236,6 +238,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Figure: "custom", Series: *structure, X: fmt.Sprint(*threads),
 				Mops: st.Mops, Std: st.Std, AllocsPerOp: st.AllocsPerOp,
 				P50ns: st.P50.Nanoseconds(), P95ns: st.P95.Nanoseconds(), P99ns: st.P99.Nanoseconds(),
+				OptRestarts: st.OptRestarts, OptEscalations: st.OptEscalations,
 			})
 			return 0
 		}
@@ -245,6 +248,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if *scanLen > 0 {
 				mode += fmt.Sprintf(" scanlen=%d", *scanLen)
 			}
+		}
+		if *optimist {
+			mode += " optimistic"
 		}
 		if *txnMix != "" {
 			mode = fmt.Sprintf(" txn=%s size=%d shards=%d", *txnMix, spec.TxnSize, spec.Shards)
@@ -329,6 +335,10 @@ type pointRecord struct {
 	P50ns       int64   `json:"p50_ns"`
 	P95ns       int64   `json:"p95_ns"`
 	P99ns       int64   `json:"p99_ns"`
+	// Optimistic-read counters; omitted for non-optimistic series so
+	// existing BENCH_*.json consumers see unchanged records.
+	OptRestarts    uint64 `json:"opt_restarts,omitempty"`
+	OptEscalations uint64 `json:"opt_escalations,omitempty"`
 }
 
 func writeJSON(w io.Writer, rec pointRecord) {
@@ -345,6 +355,7 @@ func printFigureJSON(w io.Writer, fig harness.Figure) {
 			Figure: fig.ID, Series: pt.Series, X: pt.X,
 			Mops: pt.Mops, Std: pt.Std, AllocsPerOp: pt.Allocs,
 			P50ns: pt.P50.Nanoseconds(), P95ns: pt.P95.Nanoseconds(), P99ns: pt.P99.Nanoseconds(),
+			OptRestarts: pt.OptRestarts, OptEscalations: pt.OptEscalations,
 		})
 	}
 }

@@ -24,6 +24,9 @@ import (
 // different instants.
 func (t *Tree) Scan(_ *flock.Proc, lo, hi uint64, limit int) []set.KV {
 	lo, hi = set.ClampScanBounds(lo, hi)
+	if limit == 0 {
+		return nil
+	}
 	for attempt := 0; attempt < maxOptimistic; attempt++ {
 		if out, ok := t.scanOpt(lo, hi, limit); ok {
 			return out

@@ -1,14 +1,23 @@
 package flock
 
-import "runtime"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
-// lockState is the value held by a lock word: a descriptor pointer and a
+// lockState is the value held by a lock word: a descriptor pointer, a
 // locked bit (the paper packs these into one word by stealing a pointer
-// bit; the boxed Mutable gives the same single-CAS atomicity). The zero
-// value is "unlocked, no descriptor".
+// bit; the boxed Mutable gives the same single-CAS atomicity), and a
+// version counter bumped on every acquire and release. Embedding the
+// version in the lock word makes its transitions atomic with the lock
+// transitions — the single install CAS both takes (or releases) the
+// lock and advances the version, so an optimistic reader can never
+// observe a lock/version combination that did not exist (optimistic.go).
+// The zero value is "unlocked, no descriptor, version 0".
 type lockState struct {
 	d      *descriptor
 	locked bool
+	ver    uint64
 }
 
 // Lock is a lock-free try-lock (Algorithm 3). The zero value is an
@@ -18,6 +27,22 @@ type lockState struct {
 // Runtime of the Proc performing each operation.
 type Lock struct {
 	state Mutable[lockState]
+	// bver is the blocking-mode version seqlock. Blocking acquisitions
+	// share two static boxes (below), which cannot carry a per-lock
+	// version, so blocking mode bumps this separate counter to odd after
+	// winning the acquisition CAS and to even before the releasing
+	// store. ReadVersion folds bver into the reported version so one
+	// validation protocol covers both modes.
+	bver atomic.Uint64
+}
+
+// blockHeld is one entry of a Proc's blocking-mode held-lock stack:
+// the acquired lock, and whether the critical section already released
+// it early via Unlock (in which case the scope exit must not release
+// it again — another thread may hold it by then).
+type blockHeld struct {
+	l        *Lock
+	released bool
 }
 
 // Shared boxes for blocking mode: blocking acquisitions never dereference
@@ -44,7 +69,7 @@ func (l *Lock) TryLock(p *Proc, f Thunk) bool {
 	cur := l.state.Load(p)
 	if !cur.locked {
 		my := p.newDescriptor(f)
-		myLS := lockState{d: my, locked: true}
+		myLS := lockState{d: my, locked: true, ver: cur.ver + 1}
 		// camx reports whether our own CAS installed myLS; that run (and
 		// only that run) unlinked the previous acquisition's descriptor
 		// from the lock word, so it parks cur.d for pooled reuse after
@@ -91,13 +116,15 @@ func (l *Lock) Lock(p *Proc, f Thunk) bool {
 		return l.lockBlocking(p, f)
 	}
 	my := p.newDescriptor(f)
-	myLS := lockState{d: my, locked: true}
 	for {
 		cur := l.state.Load(p)
 		if cur.locked {
 			l.runAndUnlock(p, cur) // help, then try again
 			continue
 		}
+		// ver is derived from the committed cur, so every run of an
+		// enclosing thunk computes the same myLS (replay-deterministic).
+		myLS := lockState{d: my, locked: true, ver: cur.ver + 1}
 		if l.state.camx(p, cur, myLS) && cur.d != nil && cur.d != my {
 			p.retireDescriptor(cur.d) // see TryLock: exactly-once unlink
 		}
@@ -117,11 +144,20 @@ func (l *Lock) Lock(p *Proc, f Thunk) bool {
 // does not hold the lock.
 func (l *Lock) Unlock(p *Proc) {
 	if p.rt.blocking.Load() {
+		// Mark the matching acquisition released so its scope exit
+		// (tryLockBlocking/lockBlocking) skips the second release.
+		for i := len(p.bheld) - 1; i >= 0; i-- {
+			if p.bheld[i].l == l && !p.bheld[i].released {
+				p.bheld[i].released = true
+				break
+			}
+		}
+		l.bver.Add(1) // odd -> even: release precedes the unlocking store
 		l.state.b.Store(unblockedBox)
 		return
 	}
 	cur := l.state.Load(p)
-	l.state.CAM(p, cur, lockState{d: cur.d, locked: false})
+	l.state.CAM(p, cur, lockState{d: cur.d, locked: false, ver: cur.ver + 1})
 }
 
 // Held reports whether the lock is currently held (a racy snapshot; for
@@ -137,7 +173,7 @@ func (l *Lock) Held() bool {
 func (l *Lock) runAndUnlock(p *Proc, ls lockState) bool {
 	res := p.run(ls.d)
 	ls.d.done.Store(1) // update-once: every run stores the same value
-	l.state.CAM(p, ls, lockState{d: ls.d, locked: false})
+	l.state.CAM(p, ls, lockState{d: ls.d, locked: false, ver: ls.ver + 1})
 	return res
 }
 
@@ -151,13 +187,20 @@ func (l *Lock) tryLockBlocking(p *Proc, f Thunk) bool {
 	if !l.state.b.CompareAndSwap(bx, blockedBox) {
 		return false
 	}
+	l.bver.Add(1) // even -> odd: writes of f follow the acquire bump
 	p.bdepth++
+	p.bheld = append(p.bheld, blockHeld{l: l})
 	if p.bdepth == 1 {
 		p.maybeStall() // outermost acquisition only, as in lock-free mode
 	}
 	res := f(p)
+	released := p.bheld[len(p.bheld)-1].released
+	p.bheld = p.bheld[:len(p.bheld)-1]
 	p.bdepth--
-	l.state.b.Store(unblockedBox)
+	if !released {
+		l.bver.Add(1) // odd -> even: writes of f precede the release bump
+		l.state.b.Store(unblockedBox)
+	}
 	return res
 }
 
@@ -171,13 +214,20 @@ func (l *Lock) lockBlocking(p *Proc, f Thunk) bool {
 		bx := l.state.b.Load()
 		if bx == nil || !bx.v.locked {
 			if l.state.b.CompareAndSwap(bx, blockedBox) {
+				l.bver.Add(1) // even -> odd, as in tryLockBlocking
 				p.bdepth++
+				p.bheld = append(p.bheld, blockHeld{l: l})
 				if p.bdepth == 1 {
 					p.maybeStall() // outermost acquisition only
 				}
 				res := f(p)
+				released := p.bheld[len(p.bheld)-1].released
+				p.bheld = p.bheld[:len(p.bheld)-1]
 				p.bdepth--
-				l.state.b.Store(unblockedBox)
+				if !released {
+					l.bver.Add(1) // odd -> even
+					l.state.b.Store(unblockedBox)
+				}
 				return res
 			}
 		}

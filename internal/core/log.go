@@ -202,5 +202,7 @@ func CommitValue[V any](p *Proc, v V) (V, bool) {
 
 // InThunk reports whether the Proc is currently executing inside a
 // descriptor's thunk (i.e. whether loggable operations are being
-// committed). Exposed for assertions and tests.
+// committed). Exposed for assertions and tests, and used by optimistic
+// unlogged read arms (optimistic.go, internal/kv) to fall back to the
+// logged path when invoked from composed (nested) operations.
 func (p *Proc) InThunk() bool { return p.blk != nil }

@@ -25,6 +25,12 @@ type Runtime struct {
 	// paper's oversubscription results, which OS quanta on a large
 	// machine produce naturally). 0 disables injection.
 	stallEvery atomic.Uint32
+	// maxOptimistic bounds optimistic read attempts before escalating to
+	// the logged path (optimistic.go); optRestarts/optEscalations count
+	// failed attempts and escalations across the runtime's lifetime.
+	maxOptimistic  int
+	optRestarts    atomic.Uint64
+	optEscalations atomic.Uint64
 }
 
 // Option configures a Runtime.
@@ -47,7 +53,7 @@ func NoPool() Option { return func(rt *Runtime) { rt.pooling = false } }
 // New creates a Runtime. The default mode is lock-free with the
 // compare-and-compare-and-swap optimization and object pooling enabled.
 func New(opts ...Option) *Runtime {
-	rt := &Runtime{epochs: epoch.NewManager(), avoidCAS: true, pooling: true}
+	rt := &Runtime{epochs: epoch.NewManager(), avoidCAS: true, pooling: true, maxOptimistic: 3}
 	for _, o := range opts {
 		o(rt)
 	}
@@ -102,6 +108,14 @@ type Proc struct {
 	// at every nesting level in blocking mode but only once per
 	// operation in lock-free mode, biasing the ext-txn comparisons.
 	bdepth int
+	// bheld is the blocking-mode held-lock stack. Blocking critical
+	// sections never migrate (no helping), so the acquiring goroutine's
+	// Proc can match an early-release Unlock with its acquisition and
+	// skip the scope-exit release — without this, hand-over-hand
+	// patterns (couplist) would double-release: the scope exit would
+	// force-unlock whoever acquired after the early Unlock, and bump
+	// the seqlock version to odd while the lock is free (lock.go).
+	bheld []blockHeld
 
 	// Object pools (see pool.go). dfree/bfree hold clean descriptors and
 	// spill blocks; pools holds per-type mbox freelists; pending holds

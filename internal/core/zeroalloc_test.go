@@ -86,6 +86,41 @@ func TestAllocsBlockingRead(t *testing.T) {
 	}
 }
 
+// TestAllocsOptimisticRead pins the optimistic read path at exactly
+// zero allocations in steady state: the combinator itself allocates
+// nothing (no descriptor, no log, no commit traffic) and the hoisted
+// closure is reused across ops. This is the acceptance bar for the
+// optimistic arm — a read that validates cleanly must cost no more
+// than the loads it performs.
+func TestAllocsOptimisticRead(t *testing.T) {
+	for _, pool := range []bool{true, false} {
+		opts := []Option{}
+		if !pool {
+			opts = append(opts, NoPool())
+		}
+		rt := New(opts...)
+		p := rt.Register()
+		defer p.Unregister()
+		var l Lock
+		var m Mutable[uint64]
+		m.Init(9)
+		var sink uint64
+		f := func(hp *Proc) bool {
+			sink = m.Load(hp)
+			return true
+		}
+		op := func() { rt.OptimisticRead(p, &l, f) }
+		warm(2000, op)
+		_ = sink
+		if got := testing.AllocsPerRun(500, op); got != 0 {
+			t.Errorf("pooling=%v: optimistic read allocates %v per op, must stay 0", pool, got)
+		}
+		if r, e := rt.OptimisticStats(); r != 0 || e != 0 {
+			t.Errorf("pooling=%v: uncontended loop restarted (%d) or escalated (%d)", pool, r, e)
+		}
+	}
+}
+
 // TestAllocsTryLockInsert pins an insert-shaped critical section: an
 // idempotent Allocate of a fresh node, linked in with a Store, with the
 // displaced node retired. The node itself is real payload (1 alloc);

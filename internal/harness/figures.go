@@ -64,6 +64,10 @@ type Series struct {
 	Shards    int
 	NoPool    bool
 	NonAtomic bool
+	// Optimistic routes KV reads through the version-validated unlogged
+	// arm (kv/optimistic.go); only meaningful for YCSB/txn series over
+	// structures that implement the optimistic capability interfaces.
+	Optimistic bool
 }
 
 // Point is one measured figure point, with tail-latency percentiles and
@@ -77,6 +81,10 @@ type Point struct {
 	P50    time.Duration
 	P95    time.Duration
 	P99    time.Duration
+	// Optimistic-read counters over the measured runs (zero unless the
+	// series set Optimistic; see Stats).
+	OptRestarts    uint64
+	OptEscalations uint64
 }
 
 // Figure is a fully measured figure.
@@ -152,6 +160,7 @@ var (
 	kvSeries = []Series{
 		{Name: "kv-leaftree-lf", Structure: "leaftree", Blocking: false},
 		{Name: "kv-leaftree-bl", Structure: "leaftree", Blocking: true},
+		{Name: "kv-leaftree-opt", Structure: "leaftree", Blocking: false, Optimistic: true},
 		{Name: "kv-leaftree-lf-1shard", Structure: "leaftree", Blocking: false, Shards: 1},
 		{Name: "kv-hashtable-lf", Structure: "hashtable", Blocking: false},
 	}
@@ -163,6 +172,7 @@ var (
 	ycsbESeries = []Series{
 		{Name: "kv-leaftree-lf", Structure: "leaftree", Blocking: false},
 		{Name: "kv-leaftree-bl", Structure: "leaftree", Blocking: true},
+		{Name: "kv-leaftree-opt", Structure: "leaftree", Blocking: false, Optimistic: true},
 		{Name: "kv-abtree-lf", Structure: "abtree", Blocking: false},
 		{Name: "kv-olcart", Structure: "olcart"},
 	}
@@ -458,16 +468,17 @@ func figSpecs() []FigureSpec {
 			shards = sc.Shards
 		}
 		return Spec{
-			Structure: s.Structure,
-			Blocking:  s.Blocking,
-			HashKeys:  s.HashKeys,
-			Threads:   threads,
-			KeyRange:  sc.SmallKeys,
-			Alpha:     0.99, // YCSB's default zipfian skew
-			Duration:  sc.Duration,
-			Seed:      sc.Seed,
-			YCSB:      ycsb,
-			Shards:    shards,
+			Structure:  s.Structure,
+			Blocking:   s.Blocking,
+			HashKeys:   s.HashKeys,
+			Threads:    threads,
+			KeyRange:   sc.SmallKeys,
+			Alpha:      0.99, // YCSB's default zipfian skew
+			Duration:   sc.Duration,
+			Seed:       sc.Seed,
+			YCSB:       ycsb,
+			Shards:     shards,
+			Optimistic: s.Optimistic,
 		}
 	}
 	for _, w := range []struct{ name, what string }{
@@ -526,6 +537,7 @@ func figSpecs() []FigureSpec {
 			TxnMix:       mix,
 			TxnSize:      size,
 			Shards:       shards,
+			Optimistic:   s.Optimistic,
 		}
 	}
 	specs = append(specs, FigureSpec{
@@ -593,6 +605,7 @@ func RunFigure(fs FigureSpec, sc Scale) (Figure, error) {
 				Series: s.Name, X: x, Mops: st.Mops, Std: st.Std,
 				Allocs: st.AllocsPerOp,
 				P50:    st.P50, P95: st.P95, P99: st.P99,
+				OptRestarts: st.OptRestarts, OptEscalations: st.OptEscalations,
 			})
 		}
 	}

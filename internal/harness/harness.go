@@ -147,6 +147,12 @@ type Spec struct {
 	// false the arm follows Blocking: composed blocking locks vs
 	// composed lock-free locks.
 	TxnNonAtomic bool
+	// Optimistic routes the KV path's reads (Get, Scan, MultiGet)
+	// through the unlogged version-validated arm
+	// (kv.Options.OptimisticReads). Requesting it over a structure
+	// without the set.OptimisticReader capability is refused up front,
+	// like the Scannable gate. Ignored when YCSB and TxnMix are empty.
+	Optimistic bool
 }
 
 // Result is one measured point. Hist is the merged per-operation
@@ -160,6 +166,12 @@ type Result struct {
 	Mops        float64
 	AllocsPerOp float64
 	Hist        *LatencyHist
+	// OptRestarts and OptEscalations are the store's optimistic-read
+	// counters over the measured window (KV path with Spec.Optimistic
+	// only): failed validation attempts, and operations that fell back
+	// to the locked path after MaxOptimistic failures.
+	OptRestarts    uint64
+	OptEscalations uint64
 }
 
 // P50 returns the median per-op latency (0 on an empty histogram).
@@ -293,13 +305,22 @@ func NewKVInstance(spec Spec) (*kv.Store, error) {
 		return nil, err
 	}
 	st := kv.New(kv.Factory(f), kv.Options{
-		Shards:   spec.Shards,
-		Blocking: spec.Blocking,
-		NoPool:   spec.NoPool,
-		KeyRange: spec.KeyRange,
+		Shards:          spec.Shards,
+		Blocking:        spec.Blocking,
+		NoPool:          spec.NoPool,
+		KeyRange:        spec.KeyRange,
+		OptimisticReads: spec.Optimistic,
 	})
 	if probe.HasScans() && !st.Scannable() {
 		return nil, fmt.Errorf("harness: YCSB-%s has scans but structure %q does not implement set.Scanner (ordered structures only)",
+			spec.YCSB, spec.Structure)
+	}
+	if spec.Optimistic && !st.OptimisticReads() {
+		return nil, fmt.Errorf("harness: optimistic reads requested but structure %q does not implement set.OptimisticReader",
+			spec.Structure)
+	}
+	if spec.Optimistic && probe.HasScans() && !st.OptimisticScans() {
+		return nil, fmt.Errorf("harness: YCSB-%s has scans but structure %q does not implement set.OptimisticScanner",
 			spec.YCSB, spec.Structure)
 	}
 	return st, nil
@@ -361,7 +382,8 @@ func runTimedKV(spec Spec) (Result, error) {
 	PrefillKV(st, spec)
 	st.SetStallInjection(spec.StallEvery)
 
-	return measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
+	r0, e0 := st.OptimisticStats()
+	res, err := measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
 		c := st.Register()
 		defer c.Close()
 		mix, err := NewYCSBMix(spec, uint64(w))
@@ -379,6 +401,11 @@ func runTimedKV(spec Spec) (Result, error) {
 		}
 		return n, nil
 	})
+	if err == nil {
+		r1, e1 := st.OptimisticStats()
+		res.OptRestarts, res.OptEscalations = r1-r0, e1-e0
+	}
+	return res, err
 }
 
 // NewTxnInstance builds the transactional store for a TxnMix spec
@@ -404,10 +431,11 @@ func NewTxnInstance(spec Spec) (*txn.Store, error) {
 		mode = txn.NonAtomic
 	}
 	return txn.New(kv.Factory(f), txn.Options{
-		Shards:   spec.Shards,
-		Mode:     mode,
-		NoPool:   spec.NoPool,
-		KeyRange: spec.KeyRange,
+		Shards:          spec.Shards,
+		Mode:            mode,
+		NoPool:          spec.NoPool,
+		KeyRange:        spec.KeyRange,
+		OptimisticReads: spec.Optimistic,
 	}), nil
 }
 
@@ -459,7 +487,8 @@ func runTimedTxn(spec Spec) (Result, error) {
 	PrefillKV(st.KV(), spec)
 	st.SetStallInjection(spec.StallEvery)
 
-	return measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
+	r0, e0 := st.KV().OptimisticStats()
+	res, err := measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
 		c := st.Register()
 		defer c.Close()
 		mix, err := workload.NewTxnMix(spec.TxnMix, spec.KeyRange, spec.Alpha,
@@ -479,6 +508,11 @@ func runTimedTxn(spec Spec) (Result, error) {
 		}
 		return n, nil
 	})
+	if err == nil {
+		r1, e1 := st.KV().OptimisticStats()
+		res.OptRestarts, res.OptEscalations = r1-r0, e1-e0
+	}
+	return res, err
 }
 
 // measure runs spec.Threads workers for spec.Duration and aggregates
@@ -553,11 +587,19 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 
 // Stats summarizes repeated runs of one spec: throughput mean and
 // standard deviation, latency percentiles from the histograms merged
-// across the measured repetitions, and mean allocations per operation.
+// across the measured repetitions, mean allocations per operation, and
+// the optimistic-read counters totalled over the measured repetitions
+// (Spec.Optimistic KV runs only; zero otherwise).
 type Stats struct {
 	Mops, Std     float64
 	AllocsPerOp   float64
 	P50, P95, P99 time.Duration
+	// OptRestarts and OptEscalations total the failed optimistic
+	// validation attempts and locked-path fallbacks across the measured
+	// repetitions — the restart-storm observability the escalation
+	// guard tests rely on.
+	OptRestarts    uint64
+	OptEscalations uint64
 }
 
 // RunStats performs warmup runs followed by measured repetitions,
@@ -574,6 +616,7 @@ func RunStats(spec Spec, warmup, repeats int) (Stats, error) {
 	vals := make([]float64, 0, repeats)
 	merged := NewLatencyHist()
 	var allocs float64
+	var st Stats
 	for i := 0; i < repeats; i++ {
 		r, err := RunTimed(spec)
 		if err != nil {
@@ -582,8 +625,9 @@ func RunStats(spec Spec, warmup, repeats int) (Stats, error) {
 		vals = append(vals, r.Mops)
 		allocs += r.AllocsPerOp
 		merged.Merge(r.Hist)
+		st.OptRestarts += r.OptRestarts
+		st.OptEscalations += r.OptEscalations
 	}
-	var st Stats
 	st.AllocsPerOp = allocs / float64(repeats)
 	for _, v := range vals {
 		st.Mops += v

@@ -223,6 +223,52 @@ func TestRunTimedTxn(t *testing.T) {
 	}
 }
 
+// TestOptimisticSpecWiring pins the harness's optimistic-read plumbing:
+// the capability gate refuses incapable structures up front, capable
+// specs run end to end on the unlogged arm (YCSB and txn paths), and
+// RunStats exports the restart/escalation counters — zero for the
+// read-only mix, where no shard lock is ever taken, so a nonzero value
+// here would mean the before/after delta sampling is broken.
+func TestOptimisticSpecWiring(t *testing.T) {
+	// leaftreap implements set.Scanner but not the optimistic
+	// interfaces: requesting the optimistic arm must fail loudly, not
+	// silently fall back to the logged path mid-figure.
+	if _, err := NewKVInstance(Spec{Structure: "leaftreap", Threads: 1, KeyRange: 64,
+		Duration: time.Millisecond, YCSB: "c", Shards: 2, Optimistic: true}); err == nil {
+		t.Fatal("optimistic reads over a non-optimistic structure accepted")
+	}
+	st, err := RunStats(Spec{
+		Structure: "leaftree", Threads: 4, KeyRange: 256, Alpha: 0.99,
+		Duration: 15 * time.Millisecond, Seed: 9, YCSB: "c", Shards: 2, Optimistic: true,
+	}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mops <= 0 {
+		t.Fatalf("optimistic YCSB-C measured %v Mop/s", st.Mops)
+	}
+	if st.OptRestarts != 0 || st.OptEscalations != 0 {
+		t.Fatalf("read-only optimistic run counted restarts=%d escalations=%d, want 0/0",
+			st.OptRestarts, st.OptEscalations)
+	}
+	// Scan-bearing optimistic mix and the txn read arm both drive the
+	// same plumbing through their own instance constructors.
+	for _, spec := range []Spec{
+		{Structure: "leaftree", Threads: 2, KeyRange: 128, Alpha: 0.99,
+			Duration: 10 * time.Millisecond, Seed: 9, YCSB: "e", ScanLen: 8, Shards: 2, Optimistic: true},
+		{Structure: "leaftree", Threads: 2, KeyRange: 128, Alpha: 0.75,
+			Duration: 10 * time.Millisecond, Seed: 9, TxnMix: "transfer", TxnSize: 2, Shards: 2, Optimistic: true},
+	} {
+		res, err := RunTimed(spec)
+		if err != nil {
+			t.Fatalf("optimistic spec %+v: %v", spec, err)
+		}
+		if res.Ops == 0 || res.Hist.Count() != res.Ops {
+			t.Fatalf("optimistic spec ops=%d samples=%d", res.Ops, res.Hist.Count())
+		}
+	}
+}
+
 func TestFigureIndexComplete(t *testing.T) {
 	figs := Figures()
 	want := []string{"fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",

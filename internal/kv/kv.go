@@ -57,6 +57,16 @@ type Options struct {
 	// blocking). internal/txn requires it; plain KV serving prefers
 	// per-shard runtimes, which keep reclamation and helping local.
 	SharedRuntime bool
+	// OptimisticReads routes Get, Scan and MultiGet through unlogged
+	// optimistic reads validated against the shard locks' version
+	// counters (flock.Lock.ReadVersion), restarting the whole operation
+	// on validation failure and escalating to the ordinary logged path
+	// under the shard locks after MaxOptimistic failed attempts. It
+	// takes effect only when the structure implements the matching
+	// set.OptimisticReader / set.OptimisticScanner capability (see
+	// Store.OptimisticReads / OptimisticScans); otherwise the logged
+	// path is used unchanged.
+	OptimisticReads bool
 }
 
 // shard is one partition: a runtime (private, or shared by every shard
@@ -64,10 +74,12 @@ type Options struct {
 // lock used by internal/txn to compose cross-shard critical sections.
 // Plain single-key and batch operations never touch the shard lock.
 type shard struct {
-	rt *flock.Runtime
-	s  set.Set
-	up set.Upserter // nil when s has no native upsert
-	sc set.Scanner  // nil when s is not ordered (no range scans)
+	rt  *flock.Runtime
+	s   set.Set
+	up  set.Upserter          // nil when s has no native upsert
+	sc  set.Scanner           // nil when s is not ordered (no range scans)
+	or  set.OptimisticReader  // nil when s has no unlogged Find
+	osc set.OptimisticScanner // nil when s has no unlogged Scan
 	// lck serializes transactional access to this shard (internal/txn
 	// acquires the locks of every touched shard in ascending index
 	// order, nested, inside one composed thunk). It lives here, with
@@ -79,12 +91,19 @@ type shard struct {
 // Store is a sharded concurrent KV store. Create clients with Register;
 // all data-path methods live on Client.
 type Store struct {
-	shards []shard
-	native bool
-	scan   bool           // every shard implements set.Scanner
-	rt     *flock.Runtime // non-nil iff Options.SharedRuntime
+	shards  []shard
+	native  bool
+	scan    bool           // every shard implements set.Scanner
+	optGet  bool           // OptimisticReads requested and Find arm capable
+	optScan bool           // OptimisticReads requested and Scan arm capable
+	rt      *flock.Runtime // non-nil iff Options.SharedRuntime
 	// clients counts live handles (monitoring/tests only).
 	clients atomic.Int64
+	// Optimistic-read counters: failed attempts (lock busy or version
+	// changed under the read) and escalations to the logged path. The
+	// harness samples them around measured windows (RunStats).
+	optRestarts    atomic.Uint64
+	optEscalations atomic.Uint64
 }
 
 // New builds a store whose shards each hold a fresh structure from f.
@@ -98,7 +117,10 @@ func New(f Factory, opt Options) *Store {
 		kr = 1 << 16
 	}
 	perShard := kr/uint64(n) + 1
-	st := &Store{shards: make([]shard, n), native: true, scan: true}
+	st := &Store{
+		shards: make([]shard, n), native: true, scan: true,
+		optGet: opt.OptimisticReads, optScan: opt.OptimisticReads,
+	}
 	var fopts []flock.Option
 	if opt.NoPool {
 		fopts = append(fopts, flock.NoPool())
@@ -122,9 +144,35 @@ func New(f Factory, opt Options) *Store {
 		if sc == nil {
 			st.scan = false
 		}
-		st.shards[i] = shard{rt: rt, s: s, up: up, sc: sc}
+		or, _ := s.(set.OptimisticReader)
+		if or == nil {
+			st.optGet = false
+		}
+		osc, _ := s.(set.OptimisticScanner)
+		if osc == nil {
+			st.optScan = false
+		}
+		st.shards[i] = shard{rt: rt, s: s, up: up, sc: sc, or: or, osc: osc}
 	}
 	return st
+}
+
+// OptimisticReads reports whether Get and MultiGet run the optimistic
+// unlogged arm (Options.OptimisticReads was set and the structure
+// implements set.OptimisticReader).
+func (st *Store) OptimisticReads() bool { return st.optGet }
+
+// OptimisticScans reports whether Scan runs the optimistic unlogged arm
+// (Options.OptimisticReads was set and the structure implements
+// set.OptimisticScanner).
+func (st *Store) OptimisticScans() bool { return st.optScan }
+
+// OptimisticStats returns the cumulative optimistic-read counters:
+// restarts (failed attempts across Get, Scan and MultiGet) and
+// escalations to the logged path. Monotonic; sample before/after a
+// window to attribute counts to it.
+func (st *Store) OptimisticStats() (restarts, escalations uint64) {
+	return st.optRestarts.Load(), st.optEscalations.Load()
 }
 
 // Runtime returns the store-wide runtime when the store was built with
@@ -223,9 +271,17 @@ func (c *Client) route(k uint64) (*shard, *flock.Proc) {
 	return &c.st.shards[i], c.procs[i]
 }
 
-// Get returns the value stored under k, if present.
+// Get returns the value stored under k, if present. With
+// Options.OptimisticReads (and a capable structure) the lookup runs as
+// an unlogged optimistic read validated against the shard lock's
+// version, escalating to a logged read under the shard lock after
+// MaxOptimistic failed attempts (optimistic.go).
 func (c *Client) Get(k uint64) (uint64, bool) {
-	sh, p := c.route(k)
+	i := c.st.ShardOf(k)
+	sh, p := &c.st.shards[i], c.procs[i]
+	if c.st.optGet && !p.InThunk() {
+		return c.optimisticGet(sh, p, k)
+	}
 	return sh.s.Find(p, k)
 }
 

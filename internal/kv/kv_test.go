@@ -161,7 +161,7 @@ func TestScanModelAcrossShards(t *testing.T) {
 			default:
 				lo := rng.Next() % 300
 				hi := lo + rng.Next()%300
-				limit := 0
+				limit := -1
 				if rng.Next()%2 == 0 {
 					limit = int(rng.Next()%20) + 1
 				}
@@ -199,7 +199,7 @@ func TestScanSentinelBoundsAndLimit(t *testing.T) {
 	for k := uint64(1); k <= 100; k++ {
 		c.Put(k, k*3)
 	}
-	got := c.Scan(0, math.MaxUint64, 0)
+	got := c.Scan(0, math.MaxUint64, -1)
 	if len(got) != 100 {
 		t.Fatalf("full scan returned %d pairs, want 100", len(got))
 	}
@@ -212,7 +212,7 @@ func TestScanSentinelBoundsAndLimit(t *testing.T) {
 	if len(ten) != 10 || ten[0].Key != 1 || ten[9].Key != 10 {
 		t.Fatalf("limit-10 scan = %v, want keys 1..10 in order", ten)
 	}
-	if sub := c.Scan(40, 49, 0); len(sub) != 10 || sub[0].Key != 40 || sub[9].Key != 49 {
+	if sub := c.Scan(40, 49, -1); len(sub) != 10 || sub[0].Key != 40 || sub[9].Key != 49 {
 		t.Fatalf("sub-range scan = %v, want keys 40..49", sub)
 	}
 }
@@ -234,7 +234,7 @@ func TestScannableDetection(t *testing.T) {
 			t.Fatalf("Scan on a non-scannable store did not panic")
 		}
 	}()
-	c.Scan(1, 10, 0)
+	c.Scan(1, 10, -1)
 }
 
 // TestScanSerializesWithTransactions is the composed-lock atomicity
@@ -275,7 +275,7 @@ func TestScanSerializesWithTransactions(t *testing.T) {
 
 	scanner := st.KV().Register()
 	for i := 0; i < 300; i++ {
-		got := scanner.Scan(0, math.MaxUint64, 0)
+		got := scanner.Scan(0, math.MaxUint64, -1)
 		if len(got) != accounts {
 			t.Errorf("scan %d saw %d accounts, want %d", i, len(got), accounts)
 			break

@@ -41,29 +41,43 @@ var Modes = []struct {
 }
 
 // Run executes the full suite against the factory, across lock modes
-// and shard counts (including the unsharded control).
+// and shard counts (including the unsharded control). When the
+// structure implements the optimistic read capability
+// (set.OptimisticReader), every configuration is additionally run with
+// Options.OptimisticReads — the whole suite must be indistinguishable
+// between the logged and optimistic read paths.
 func Run(t *testing.T, f kv.Factory) {
 	t.Helper()
+	optCapable := kv.New(f, kv.Options{Shards: 1, OptimisticReads: true}).OptimisticReads()
+	arms := []bool{false}
+	if optCapable {
+		arms = append(arms, true)
+	}
 	for _, m := range Modes {
 		for _, shards := range []int{1, 4} {
-			name := fmt.Sprintf("%s/shards=%d", m.Name, shards)
-			opt := kv.Options{Shards: shards, Blocking: m.Blocking, KeyRange: 4096}
-			t.Run(name, func(t *testing.T) {
-				t.Run("SequentialModel", func(t *testing.T) { sequentialModel(t, f, opt) })
-				t.Run("MutexMapDifferential", func(t *testing.T) { mutexMapDifferential(t, f, opt) })
-				t.Run("Batches", func(t *testing.T) { batches(t, f, opt) })
-				t.Run("BatchOrdering", func(t *testing.T) { batchOrdering(t, f, opt) })
-				t.Run("Oversubscribed", func(t *testing.T) { oversubscribed(t, f, opt) })
-				native := kv.New(f, opt).NativeUpsert()
-				if native {
-					t.Run("ContendedAlgebra", func(t *testing.T) { contendedAlgebra(t, f, opt) })
-					t.Run("RMWCounter", func(t *testing.T) { rmwCounter(t, f, opt) })
-					t.Run("Linearizable", func(t *testing.T) { linearizable(t, f, opt, 0) })
-					if !m.Blocking {
-						t.Run("LinearizableWithStalls", func(t *testing.T) { linearizable(t, f, opt, 25) })
-					}
+			for _, optimistic := range arms {
+				name := fmt.Sprintf("%s/shards=%d", m.Name, shards)
+				if optimistic {
+					name += "/optimistic"
 				}
-			})
+				opt := kv.Options{Shards: shards, Blocking: m.Blocking, KeyRange: 4096, OptimisticReads: optimistic}
+				t.Run(name, func(t *testing.T) {
+					t.Run("SequentialModel", func(t *testing.T) { sequentialModel(t, f, opt) })
+					t.Run("MutexMapDifferential", func(t *testing.T) { mutexMapDifferential(t, f, opt) })
+					t.Run("Batches", func(t *testing.T) { batches(t, f, opt) })
+					t.Run("BatchOrdering", func(t *testing.T) { batchOrdering(t, f, opt) })
+					t.Run("Oversubscribed", func(t *testing.T) { oversubscribed(t, f, opt) })
+					native := kv.New(f, opt).NativeUpsert()
+					if native {
+						t.Run("ContendedAlgebra", func(t *testing.T) { contendedAlgebra(t, f, opt) })
+						t.Run("RMWCounter", func(t *testing.T) { rmwCounter(t, f, opt) })
+						t.Run("Linearizable", func(t *testing.T) { linearizable(t, f, opt, 0) })
+						if !m.Blocking {
+							t.Run("LinearizableWithStalls", func(t *testing.T) { linearizable(t, f, opt, 25) })
+						}
+					}
+				})
+			}
 		}
 	}
 }

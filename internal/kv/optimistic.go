@@ -1,0 +1,220 @@
+// Optimistic read arms for the sharded store (DESIGN.md S13). A plain
+// Get never takes the shard lock, so its logged cost is only the
+// descriptor-free traversal — but under Options.OptimisticReads even
+// that traversal runs unlogged, validated against the shard lock's
+// version counter: the shard lock is the store's only write-side
+// serialization point for lock-holding readers and transactions, so an
+// unchanged version across the read window proves no locked critical
+// section (a transaction, an escalated scan) overlapped the read.
+// Multi-shard operations (MultiGet, Scan) read a version vector over
+// every involved shard before touching data and validate the whole
+// vector after: transactions acquire their shard locks in ascending
+// order nested (first acquired is last released), so any transaction
+// whose effect a read observed on one shard must still have been
+// holding — or already bumped — every earlier shard's lock when the
+// vector was read or validated, and a cross-shard torn observation
+// always fails validation. Whole-operation restart, with escalation to
+// the ordinary logged path under the shard locks after MaxOptimistic
+// failed attempts, mirrors the core combinator (flock.OptimisticRead)
+// and the olcart baseline.
+
+package kv
+
+import (
+	"sync/atomic"
+
+	flock "flock/internal/core"
+)
+
+// optimisticGet is Get's unlogged arm: seqlock-validated OptimisticFind
+// with a hand-rolled retry loop (no closures — the validated hot path
+// stays allocation-free). The epoch guard spans ReadVersion through
+// Validate so the lock-word box cannot be recycled mid-inspection.
+func (c *Client) optimisticGet(sh *shard, p *flock.Proc, k uint64) (uint64, bool) {
+	p.Begin()
+	for attempt := sh.rt.MaxOptimistic(); attempt > 0; attempt-- {
+		if ver, ok := sh.lck.ReadVersion(); ok {
+			v, found := sh.or.OptimisticFind(p, k)
+			if sh.lck.Validate(ver) {
+				p.End()
+				return v, found
+			}
+		}
+		c.st.optRestarts.Add(1)
+	}
+	p.End()
+	c.st.optEscalations.Add(1)
+	return c.escalatedGet(sh, p, k)
+}
+
+// escalatedGet completes a Get under the shard lock with the ordinary
+// logged Find. The strict Lock always completes (helping in lock-free
+// mode), so a writer storm cannot livelock readers. The thunk's result
+// is published through atomics: every run recomputes identical values
+// from logged loads, so the stores are idempotent, and a straggling
+// helper's store cannot tear the outer read.
+func (c *Client) escalatedGet(sh *shard, p *flock.Proc, k uint64) (uint64, bool) {
+	var val atomic.Uint64
+	var ok atomic.Uint32
+	p.Begin()
+	defer p.End()
+	sh.lck.Lock(p, func(hp *flock.Proc) bool {
+		v, found := sh.s.Find(hp, k)
+		val.Store(v)
+		if found {
+			ok.Store(1)
+		}
+		return true
+	})
+	return val.Load(), ok.Load() == 1
+}
+
+// beginAll enters an epoch guard on every runtime the client touches
+// (one guard on a shared-runtime store); endAll exits them.
+func (c *Client) beginAll() {
+	if c.st.rt != nil {
+		c.procs[0].Begin()
+		return
+	}
+	for _, p := range c.procs {
+		p.Begin()
+	}
+}
+
+func (c *Client) endAll() {
+	if c.st.rt != nil {
+		c.procs[0].End()
+		return
+	}
+	for _, p := range c.procs {
+		p.End()
+	}
+}
+
+// MultiGet looks up every key, filling vals and oks (freshly allocated,
+// len(keys) each). Unlike GetBatch — independent per-key lookups with
+// no mutual consistency — MultiGet is an atomic multi-key read on
+// stores where the shard locks serialize writers (transactional
+// shared-runtime stores): the optimistic arm validates a version vector
+// over every involved shard around the reads, and the escalated arm
+// takes all involved shard locks in one composed critical section. It
+// backs internal/txn's read-only MultiGet fast path. Without
+// Options.OptimisticReads (or a capable structure) it degrades to
+// GetBatch semantics.
+func (c *Client) MultiGet(keys []uint64) (vals []uint64, oks []bool) {
+	if !c.st.optGet || c.procs[0].InThunk() {
+		return c.GetBatch(keys)
+	}
+	vals = make([]uint64, len(keys))
+	oks = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, oks
+	}
+	st := c.st
+	// Involved shards, ascending and duplicate-free (the lock-nesting
+	// order), and each key's shard.
+	shardOf := make([]int, len(keys))
+	seen := make([]bool, len(st.shards))
+	involved := make([]int, 0, len(st.shards))
+	for i, k := range keys {
+		s := st.ShardOf(k)
+		shardOf[i] = s
+		seen[s] = true
+	}
+	for s := range seen {
+		if seen[s] {
+			involved = append(involved, s)
+		}
+	}
+
+	vers := make([]uint64, len(involved))
+	max := st.shards[involved[0]].rt.MaxOptimistic()
+attempts:
+	for attempt := 0; attempt < max; attempt++ {
+		c.beginAll()
+		// Version vector first, data loads second, validation last: see
+		// the package comment for why this ordering (with the
+		// transaction layer's ascending-nested locking) makes a
+		// validated result a cross-shard atomic snapshot.
+		for j, s := range involved {
+			v, ok := st.shards[s].lck.ReadVersion()
+			if !ok {
+				c.endAll()
+				st.optRestarts.Add(1)
+				continue attempts
+			}
+			vers[j] = v
+		}
+		for i, k := range keys {
+			s := shardOf[i]
+			vals[i], oks[i] = st.shards[s].or.OptimisticFind(c.procs[s], k)
+		}
+		for j, s := range involved {
+			if !st.shards[s].lck.Validate(vers[j]) {
+				c.endAll()
+				st.optRestarts.Add(1)
+				continue attempts
+			}
+		}
+		c.endAll()
+		return vals, oks
+	}
+	st.optEscalations.Add(1)
+	return c.escalatedMultiGet(keys, shardOf, involved, vals, oks)
+}
+
+// escalatedMultiGet reads every key under the involved shard locks. On
+// a shared-runtime store all locks are taken in one composed critical
+// section (atomic with respect to transactions); on a per-shard-runtime
+// store locks cannot compose across runtimes, so each shard is read
+// under its own lock in ascending order (per-shard atomicity, which is
+// all such stores ever promise — they run no transactions). Results are
+// published through atomics: helper runs recompute identical values
+// from logged loads, so the stores are idempotent.
+func (c *Client) escalatedMultiGet(keys []uint64, shardOf, involved []int, vals []uint64, oks []bool) ([]uint64, []bool) {
+	st := c.st
+	bufV := make([]atomic.Uint64, len(keys))
+	bufOK := make([]atomic.Uint32, len(keys))
+	readShard := func(hp *flock.Proc, s int) {
+		for i, k := range keys {
+			if shardOf[i] != s {
+				continue
+			}
+			v, found := st.shards[s].s.Find(hp, k)
+			bufV[i].Store(v)
+			if found {
+				bufOK[i].Store(1)
+			}
+		}
+	}
+	if st.rt != nil {
+		for attempt := 0; ; attempt++ {
+			ok := st.NestShardLocks(c.procs[0], involved, func(hp *flock.Proc) {
+				for _, s := range involved {
+					readShard(hp, s)
+				}
+			})
+			if ok {
+				break
+			}
+			scanBackoff(attempt)
+		}
+	} else {
+		for _, s := range involved {
+			for attempt := 0; ; attempt++ {
+				ok := st.NestShardLocks(c.procs[s], []int{s}, func(hp *flock.Proc) {
+					readShard(hp, s)
+				})
+				if ok {
+					break
+				}
+				scanBackoff(attempt)
+			}
+		}
+	}
+	for i := range keys {
+		vals[i] = bufV[i].Load()
+		oks[i] = bufOK[i].Load() == 1
+	}
+	return vals, oks
+}

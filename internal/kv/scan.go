@@ -58,19 +58,25 @@ func scanBackoff(attempt int) {
 }
 
 // Scan returns up to limit key-value pairs with lo <= key <= hi, merged
-// in ascending key order across every shard (limit <= 0 means
-// unbounded; 0 and MaxUint64 are the open-interval bound sentinels, see
-// set.ClampScanBounds). Each shard contributes a run collected by the
-// structure's scan thunk while that shard's lock is held. On a
-// shared-runtime store all shard locks are held at once (one composed
-// critical section, so the scan is atomic with respect to multi-key
-// transactions); on a per-shard-runtime store the shards are scanned
-// one at a time in ascending order, each under its own lock, giving the
-// structures' interval semantics shard by shard. Plain single-key
-// Client operations never take shard locks, so the result is weakly
-// consistent with respect to them either way: every returned pair was
-// present, and every missing in-range key absent, at some instant
-// during the scan.
+// in ascending key order across every shard (limit < 0 means unbounded,
+// limit 0 yields an empty result; 0 and MaxUint64 are the open-interval
+// bound sentinels, see set.ClampScanBounds). With
+// Options.OptimisticReads (and a capable structure) the scan first runs
+// the optimistic arm — unlogged per-shard scans validated against a
+// version vector over every shard lock, whole-operation restart on any
+// failure (see optimistic.go) — and escalates to the locked path after
+// MaxOptimistic failed attempts. On the locked path each shard
+// contributes a run collected by the structure's scan thunk while that
+// shard's lock is held. On a shared-runtime store all shard locks are
+// held at once (one composed critical section, so the scan is atomic
+// with respect to multi-key transactions — as is a validated optimistic
+// scan, per the version-vector argument); on a per-shard-runtime store
+// the locked path scans one shard at a time in ascending order, each
+// under its own lock, giving the structures' interval semantics shard
+// by shard. Plain single-key Client operations never take shard locks,
+// so the result is weakly consistent with respect to them either way:
+// every returned pair was present, and every missing in-range key
+// absent, at some instant during the scan.
 //
 // Scan panics if the store's structure does not implement set.Scanner
 // (see Scannable).
@@ -79,6 +85,66 @@ func (c *Client) Scan(lo, hi uint64, limit int) []set.KV {
 	if !st.scan {
 		panic(fmt.Sprintf("kv: Scan on a store whose structure (%T) does not implement set.Scanner", st.shards[0].s))
 	}
+	if limit == 0 {
+		return nil
+	}
+	if st.optScan && !c.procs[0].InThunk() {
+		if out, ok := c.scanOptimistic(lo, hi, limit); ok {
+			return out
+		}
+		st.optEscalations.Add(1)
+	}
+	return c.scanLocked(lo, hi, limit)
+}
+
+// scanOptimistic makes MaxOptimistic unlogged whole-store scan
+// attempts; ok=false means every attempt failed validation and the
+// caller must escalate to the locked path.
+func (c *Client) scanOptimistic(lo, hi uint64, limit int) ([]set.KV, bool) {
+	st := c.st
+	vers := make([]uint64, len(st.shards))
+	parts := make([][]set.KV, len(st.shards))
+	max := st.shards[0].rt.MaxOptimistic()
+	for attempt := 0; attempt < max; attempt++ {
+		if c.scanAttempt(lo, hi, limit, vers, parts) {
+			return mergeRuns(parts, limit), true
+		}
+		st.optRestarts.Add(1)
+	}
+	return nil, false
+}
+
+// scanAttempt is one optimistic pass: version vector first, unlogged
+// per-shard scans second, validation of the whole vector last (see
+// optimistic.go's package comment for why this ordering makes a
+// validated result atomic with respect to transactions). Partial
+// results of a failed attempt are discarded by the caller.
+func (c *Client) scanAttempt(lo, hi uint64, limit int, vers []uint64, parts [][]set.KV) bool {
+	st := c.st
+	c.beginAll()
+	defer c.endAll()
+	for i := range st.shards {
+		v, ok := st.shards[i].lck.ReadVersion()
+		if !ok {
+			return false
+		}
+		vers[i] = v
+	}
+	for i := range st.shards {
+		parts[i] = st.shards[i].osc.OptimisticScan(c.procs[i], lo, hi, limit)
+	}
+	for i := range st.shards {
+		if !st.shards[i].lck.Validate(vers[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanLocked is the logged path: per-shard scan thunks under the shard
+// locks (see Scan).
+func (c *Client) scanLocked(lo, hi uint64, limit int) []set.KV {
+	st := c.st
 	parts := make([][]set.KV, len(st.shards))
 	if st.rt != nil {
 		// Shared runtime: one composed critical section over all shards.
@@ -128,9 +194,12 @@ func (c *Client) Scan(lo, hi uint64, limit int) []set.KV {
 }
 
 // mergeRuns merges sorted per-shard runs into one ascending result of
-// at most limit pairs. Shard routing partitions the key space, so no
-// key appears in two runs.
+// at most limit pairs (limit < 0 unbounded, 0 empty). Shard routing
+// partitions the key space, so no key appears in two runs.
 func mergeRuns(parts [][]set.KV, limit int) []set.KV {
+	if limit == 0 {
+		return nil
+	}
 	total := 0
 	nonEmpty := 0
 	for _, r := range parts {
@@ -150,7 +219,7 @@ func mergeRuns(parts [][]set.KV, limit int) []set.KV {
 		}
 		return nil
 	}
-	if limit <= 0 || limit > total {
+	if limit < 0 || limit > total {
 		limit = total
 	}
 	out := make([]set.KV, 0, limit)

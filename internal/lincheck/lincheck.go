@@ -72,7 +72,7 @@ type Op struct {
 	Worker int
 
 	Lo, Hi uint64   // KScan: requested bounds (sentinels allowed)
-	Limit  int      // KScan: requested limit (<= 0 unbounded)
+	Limit  int      // KScan: requested limit (< 0 unbounded, 0 empty)
 	Scan   []set.KV // KScan: the returned pairs
 }
 
@@ -146,6 +146,48 @@ func (h *Handle) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
 	}
 	start := h.r.clock.Add(1)
 	res := sc.Scan(p, lo, hi, limit)
+	end := h.r.clock.Add(1)
+	h.r.hists[h.w] = append(h.r.hists[h.w], Op{
+		Kind: KScan, Lo: lo, Hi: hi, Limit: limit, Scan: res,
+		Start: start, End: end, Worker: h.w,
+	})
+	return res
+}
+
+// FindOptimistic records a find performed through the structure's
+// unlogged optimistic read path; it panics if the wrapped set does not
+// implement set.OptimisticReader. The observation is recorded as an
+// ordinary KFind and checked identically: the capability contract
+// requires a top-level OptimisticFind to be linearizable, exactly like
+// Find. Rejected (invalid-version) attempts never reach a Handle — the
+// read arms retry internally and only the validated or escalated result
+// returns — so by construction only committed observations are
+// recorded (see TestOptimisticRejectedReadsNotReported).
+func (h *Handle) FindOptimistic(p *flock.Proc, k uint64) (uint64, bool) {
+	or, implements := h.r.s.(set.OptimisticReader)
+	if !implements {
+		panic("lincheck: wrapped set does not implement set.OptimisticReader")
+	}
+	start := h.r.clock.Add(1)
+	v, ok := or.OptimisticFind(p, k)
+	end := h.r.clock.Add(1)
+	h.r.hists[h.w] = append(h.r.hists[h.w], Op{
+		Kind: KFind, Key: k, Ok: ok, Val: v, Start: start, End: end, Worker: h.w,
+	})
+	return v, ok
+}
+
+// ScanOptimistic records a range scan through the structure's unlogged
+// optimistic path; it panics if the wrapped set does not implement
+// set.OptimisticScanner. Recorded as an ordinary KScan and held to the
+// same interval-snapshot semantics as Scan.
+func (h *Handle) ScanOptimistic(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	osc, implements := h.r.s.(set.OptimisticScanner)
+	if !implements {
+		panic("lincheck: wrapped set does not implement set.OptimisticScanner")
+	}
+	start := h.r.clock.Add(1)
+	res := osc.OptimisticScan(p, lo, hi, limit)
 	end := h.r.clock.Add(1)
 	h.r.hists[h.w] = append(h.r.hists[h.w], Op{
 		Kind: KScan, Lo: lo, Hi: hi, Limit: limit, Scan: res,
@@ -291,6 +333,14 @@ func Check(history []Op) CheckResult {
 			}
 			if s.Limit > 0 && len(s.Scan) > s.Limit {
 				return CheckResult{Reason: fmt.Sprintf("scan returned %d pairs over limit %d", len(s.Scan), s.Limit)}
+			}
+			// Limit 0 pins the empty result (set.Scanner's contract) and
+			// observes nothing: no key was ever reached.
+			if s.Limit == 0 {
+				if len(s.Scan) != 0 {
+					return CheckResult{Reason: fmt.Sprintf("limit-0 scan returned %d pairs, want none", len(s.Scan))}
+				}
+				continue
 			}
 			// A limit-truncated scan observes nothing past its last
 			// returned key: those keys were simply never reached.

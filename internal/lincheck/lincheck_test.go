@@ -157,12 +157,12 @@ func TestScanSequentialHistory(t *testing.T) {
 		{Kind: KInsert, Key: 3, Arg: 30, Ok: true, Start: 3, End: 4},
 		{Kind: KInsert, Key: 5, Arg: 50, Ok: true, Start: 5, End: 6},
 		// Full-range scan via the open-interval sentinels.
-		scanOp(0, math.MaxUint64, 0, []set.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}, {Key: 5, Value: 50}}, 7, 8),
+		scanOp(0, math.MaxUint64, -1, []set.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}, {Key: 5, Value: 50}}, 7, 8),
 		// Sub-range scan.
-		scanOp(2, 4, 0, []set.KV{{Key: 3, Value: 30}}, 9, 10),
+		scanOp(2, 4, -1, []set.KV{{Key: 3, Value: 30}}, 9, 10),
 		{Kind: KDelete, Key: 3, Ok: true, Start: 11, End: 12},
 		// After the delete, 3 must be gone.
-		scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}, {Key: 5, Value: 50}}, 13, 14),
+		scanOp(1, 5, -1, []set.KV{{Key: 1, Value: 10}, {Key: 5, Value: 50}}, 13, 14),
 		// Limit truncation observes nothing past the last returned key:
 		// missing 5 is fine here.
 		scanOp(0, math.MaxUint64, 1, []set.KV{{Key: 1, Value: 10}}, 15, 16),
@@ -175,7 +175,7 @@ func TestScanSequentialHistory(t *testing.T) {
 func TestRejectsScanPhantomKey(t *testing.T) {
 	h := []Op{
 		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
-		scanOp(0, math.MaxUint64, 0, []set.KV{{Key: 1, Value: 10}, {Key: 2, Value: 7}}, 3, 4),
+		scanOp(0, math.MaxUint64, -1, []set.KV{{Key: 1, Value: 10}, {Key: 2, Value: 7}}, 3, 4),
 	}
 	if res := Check(h); res.Ok {
 		t.Fatalf("scan reporting a never-inserted key accepted")
@@ -188,7 +188,7 @@ func TestRejectsScanMissedKey(t *testing.T) {
 	h := []Op{
 		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
 		{Kind: KInsert, Key: 2, Arg: 20, Ok: true, Start: 3, End: 4},
-		scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}}, 5, 6),
+		scanOp(1, 5, -1, []set.KV{{Key: 1, Value: 10}}, 5, 6),
 	}
 	if res := Check(h); res.Ok {
 		t.Fatalf("scan missing a stable in-range key accepted")
@@ -202,7 +202,7 @@ func TestRejectsScanStaleValue(t *testing.T) {
 	h := []Op{
 		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
 		{Kind: KUpsert, Key: 1, Arg: 20, Ok: true, Val: 10, Start: 3, End: 4},
-		scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}}, 5, 6), // stale value
+		scanOp(1, 5, -1, []set.KV{{Key: 1, Value: 10}}, 5, 6), // stale value
 	}
 	if res := Check(h); res.Ok {
 		t.Fatalf("scan reporting a stale value accepted")
@@ -218,7 +218,7 @@ func TestScanIntervalSemantics(t *testing.T) {
 		{Kind: KInsert, Key: 1, Arg: 10, Ok: true, Start: 1, End: 2},
 		{Kind: KDelete, Key: 1, Ok: true, Start: 5, End: 20},
 		{Kind: KInsert, Key: 3, Arg: 30, Ok: true, Start: 5, End: 20},
-		scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}}, 6, 19),
+		scanOp(1, 5, -1, []set.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}}, 6, 19),
 	}
 	if res := Check(h); !res.Ok {
 		t.Fatalf("interval-consistent scan rejected: %v", res)
@@ -235,10 +235,10 @@ func TestRejectsStructurallyInvalidScan(t *testing.T) {
 		name string
 		op   Op
 	}{
-		{"unsorted", scanOp(1, 5, 0, []set.KV{{Key: 3, Value: 30}, {Key: 1, Value: 10}}, 5, 6)},
-		{"out-of-bounds", scanOp(2, 5, 0, []set.KV{{Key: 1, Value: 10}}, 5, 6)},
+		{"unsorted", scanOp(1, 5, -1, []set.KV{{Key: 3, Value: 30}, {Key: 1, Value: 10}}, 5, 6)},
+		{"out-of-bounds", scanOp(2, 5, -1, []set.KV{{Key: 1, Value: 10}}, 5, 6)},
 		{"over-limit", scanOp(1, 5, 1, []set.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}}, 5, 6)},
-		{"duplicate", scanOp(1, 5, 0, []set.KV{{Key: 1, Value: 10}, {Key: 1, Value: 10}}, 5, 6)},
+		{"duplicate", scanOp(1, 5, -1, []set.KV{{Key: 1, Value: 10}, {Key: 1, Value: 10}}, 5, 6)},
 	}
 	for _, tc := range cases {
 		h := []Op{

@@ -218,6 +218,9 @@ func (t *Tree) Delete(p *flock.Proc, k uint64) bool {
 // run-local accumulation, no locks taken.
 func (t *Tree) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
 	lo, hi = set.ClampScanBounds(lo, hi)
+	if limit == 0 {
+		return nil
+	}
 	p.Begin()
 	defer p.End()
 	var out []set.KV
@@ -253,6 +256,26 @@ func (t *Tree) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
 	}
 	walk(t.entry.children[0].Load(p))
 	return out
+}
+
+// OptimisticFind implements set.OptimisticReader. The descent is a pure
+// load chain over immutable key arrays (nodes replaced copy-on-write),
+// so at top level Find is already unlogged; this method only asserts
+// the top-level contract.
+func (t *Tree) OptimisticFind(p *flock.Proc, k uint64) (uint64, bool) {
+	if p.InThunk() {
+		panic("abtree: OptimisticFind inside a thunk")
+	}
+	return t.Find(p, k)
+}
+
+// OptimisticScan implements set.OptimisticScanner; see OptimisticFind —
+// the scan walk is store-free with run-local accumulation.
+func (t *Tree) OptimisticScan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	if p.InThunk() {
+		panic("abtree: OptimisticScan inside a thunk")
+	}
+	return t.Scan(p, lo, hi, limit)
 }
 
 // splitChild splits full node cur (a child of par at parIdx) into two

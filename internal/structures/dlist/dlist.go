@@ -130,6 +130,9 @@ func (l *List) Delete(p *flock.Proc, k uint64) bool {
 // single idempotent thunk: logged loads, run-local accumulation.
 func (l *List) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
 	lo, hi = set.ClampScanBounds(lo, hi)
+	if limit == 0 {
+		return nil
+	}
 	p.Begin()
 	defer p.End()
 	var out []set.KV

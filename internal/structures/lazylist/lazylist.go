@@ -137,6 +137,9 @@ func (l *List) Delete(p *flock.Proc, k uint64) bool {
 // every helper replay collects the identical pairs (DESIGN.md S12).
 func (l *List) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
 	lo, hi = set.ClampScanBounds(lo, hi)
+	if limit == 0 {
+		return nil
+	}
 	p.Begin()
 	defer p.End()
 	var out []set.KV
@@ -151,6 +154,26 @@ func (l *List) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
 		curr = curr.next.Load(p)
 	}
 	return out
+}
+
+// OptimisticFind implements set.OptimisticReader. locate takes no locks
+// and logs nothing at top level, and the removed flag pins the presence
+// instant, so Find is already the unlogged optimistic read; this method
+// only asserts the top-level contract.
+func (l *List) OptimisticFind(p *flock.Proc, k uint64) (uint64, bool) {
+	if p.InThunk() {
+		panic("lazylist: OptimisticFind inside a thunk")
+	}
+	return l.Find(p, k)
+}
+
+// OptimisticScan implements set.OptimisticScanner; see OptimisticFind —
+// the forward traversal is store-free with run-local accumulation.
+func (l *List) OptimisticScan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	if p.InThunk() {
+		panic("lazylist: OptimisticScan inside a thunk")
+	}
+	return l.Scan(p, lo, hi, limit)
 }
 
 // Keys returns a snapshot of the keys (single-threaded use: tests and

@@ -220,6 +220,9 @@ func (t *Tree) Delete(p *flock.Proc, k uint64) bool {
 // root's (always empty) right block is never visited.
 func (t *Tree) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
 	lo, hi = set.ClampScanBounds(lo, hi)
+	if limit == 0 {
+		return nil
+	}
 	p.Begin()
 	defer p.End()
 	var out []set.KV

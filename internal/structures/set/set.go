@@ -39,7 +39,9 @@ type KV struct {
 
 // Scanner is optionally implemented by ordered sets. Scan returns the
 // key-value pairs with lo <= key <= hi in strictly ascending key order,
-// at most limit of them (limit <= 0 means unbounded). The bounds are
+// at most limit of them (limit < 0 means unbounded; limit 0 yields an
+// empty result, so callers can pass a computed budget through without
+// special-casing exhaustion). The bounds are
 // first clamped by ClampScanBounds, so the open-interval sentinels 0 and
 // math.MaxUint64 are always safe to pass and reserved sentinel keys are
 // never returned.
@@ -72,6 +74,33 @@ func ClampScanBounds(lo, hi uint64) (uint64, uint64) {
 		hi = math.MaxUint64 - 1
 	}
 	return lo, hi
+}
+
+// OptimisticReader is optionally implemented by sets whose Find is an
+// unlogged optimistic read: a pure traversal over plain atomic loads
+// with no commit traffic, validated (or inherently safe) against
+// concurrent mutation. OptimisticFind must be called at top level
+// (outside any thunk) — implementations may panic on nested calls —
+// and must be linearizable exactly like Find. The KV layer routes Get
+// through it when Options.OptimisticReads is set; settest auto-runs
+// differential and linearizability passes against any implementer.
+type OptimisticReader interface {
+	// OptimisticFind returns the value associated with k, if present,
+	// without logging any loads.
+	OptimisticFind(p *flock.Proc, k uint64) (uint64, bool)
+}
+
+// OptimisticScanner is optionally implemented by ordered sets whose
+// Scan can run unlogged: run-local accumulation, no stores, plain
+// atomic loads. OptimisticScan has Scan's exact result contract
+// (bounds, ascending order, limit semantics, weak interval
+// consistency) and the same top-level-only restriction as
+// OptimisticFind. The KV layer's optimistic Scan arm wraps it in
+// per-shard version validation (internal/kv/scan.go).
+type OptimisticScanner interface {
+	// OptimisticScan collects the pairs in [lo, hi], ascending, up to
+	// limit, without logging any loads.
+	OptimisticScan(p *flock.Proc, lo, hi uint64, limit int) []KV
 }
 
 // Upserter is optionally implemented by sets that can apply an atomic

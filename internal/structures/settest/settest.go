@@ -42,14 +42,22 @@ var Modes = []struct {
 // implement set.Upserter additionally get upsert model and upsert
 // linearizability passes; structures that implement set.Scanner (the
 // ordered structures) additionally get the scan conformance passes:
-// sequential model scans, the sentinel-bounds pin, the
+// sequential model scans, the sentinel-bounds pin, the limit-0 pin, the
 // concurrent-mutation differential against a mutex-protected map, and
 // scan linearizability (interval semantics) through lincheck.
+// Structures that implement set.OptimisticReader / set.OptimisticScanner
+// additionally get the optimistic-read conformance passes: sequential
+// differentials of the unlogged arms against the model, a
+// concurrent-mutation differential reading exclusively through the
+// optimistic arms, and lincheck linearizability of optimistic reads
+// racing logged mutators.
 func Run(t *testing.T, f Factory) {
 	t.Helper()
 	probe, _ := newSet(f, false)
 	_, upsertable := probe.(set.Upserter)
 	_, scannable := probe.(set.Scanner)
+	_, optFind := probe.(set.OptimisticReader)
+	_, optScan := probe.(set.OptimisticScanner)
 	for _, m := range Modes {
 		t.Run(m.Name, func(t *testing.T) {
 			t.Run("SequentialModel", func(t *testing.T) { sequentialModel(t, f, m.Blocking) })
@@ -71,8 +79,18 @@ func Run(t *testing.T, f Factory) {
 			if scannable {
 				t.Run("ScanModel", func(t *testing.T) { scanModel(t, f, m.Blocking) })
 				t.Run("ScanSentinelBounds", func(t *testing.T) { scanSentinelBounds(t, f, m.Blocking) })
-				t.Run("ScanConcurrentDifferential", func(t *testing.T) { scanConcurrentDifferential(t, f, m.Blocking) })
-				t.Run("ScanLinearizable", func(t *testing.T) { scanLinearizable(t, f, m.Blocking) })
+				t.Run("ScanLimitZero", func(t *testing.T) { scanLimitZero(t, f, m.Blocking) })
+				t.Run("ScanConcurrentDifferential", func(t *testing.T) { scanConcurrentDifferential(t, f, m.Blocking, false) })
+				t.Run("ScanLinearizable", func(t *testing.T) { scanLinearizable(t, f, m.Blocking, false) })
+			}
+			if optFind {
+				t.Run("OptimisticFindModel", func(t *testing.T) { optimisticFindModel(t, f, m.Blocking) })
+				t.Run("OptimisticLinearizable", func(t *testing.T) { optimisticLinearizable(t, f, m.Blocking) })
+			}
+			if optScan {
+				t.Run("OptimisticScanModel", func(t *testing.T) { optimisticScanModel(t, f, m.Blocking) })
+				t.Run("OptimisticScanDifferential", func(t *testing.T) { scanConcurrentDifferential(t, f, m.Blocking, true) })
+				t.Run("OptimisticScanLinearizable", func(t *testing.T) { scanLinearizable(t, f, m.Blocking, true) })
 			}
 		})
 	}
@@ -507,8 +525,12 @@ func upsertCounter(t *testing.T, f Factory, blocking bool) {
 	}
 }
 
-// expectedScan computes a model's answer to Scan(lo, hi, limit).
+// expectedScan computes a model's answer to Scan(lo, hi, limit)
+// (limit < 0 unbounded, 0 empty).
 func expectedScan(model map[uint64]uint64, lo, hi uint64, limit int) []set.KV {
+	if limit == 0 {
+		return nil
+	}
 	clo, chi := set.ClampScanBounds(lo, hi)
 	var out []set.KV
 	for k, v := range model {
@@ -555,7 +577,7 @@ func scanModel(t *testing.T, f Factory, blocking bool) {
 			if rng.Intn(8) == 0 {
 				lo, hi = 0, math.MaxUint64 // open-interval sentinels
 			}
-			limit := 0
+			limit := -1
 			if rng.Intn(2) == 0 {
 				limit = rng.Intn(12) + 1
 			}
@@ -602,14 +624,58 @@ func scanSentinelBounds(t *testing.T, f Factory, blocking bool) {
 			}
 		}
 	}
-	check(0, math.MaxUint64, 0, 1, 5, maxKey) // fully open
-	check(1, math.MaxUint64-1, 0, 1, 5, maxKey)
-	check(0, 4, 0, 1)                   // open below only
-	check(6, math.MaxUint64, 0, maxKey) // open above only
-	check(maxKey, maxKey, 0, maxKey)
-	check(2, 4, 0)
+	check(0, math.MaxUint64, -1, 1, 5, maxKey) // fully open
+	check(1, math.MaxUint64-1, -1, 1, 5, maxKey)
+	check(0, 4, -1, 1)                   // open below only
+	check(6, math.MaxUint64, -1, maxKey) // open above only
+	check(maxKey, maxKey, -1, maxKey)
+	check(2, 4, -1)
 	check(0, math.MaxUint64, 2, 1, 5) // limit truncation
-	check(0, 0, 0)                    // hi 0 is not a sentinel: [1, 0] is empty
+	check(0, 0, -1)                   // hi 0 is not a sentinel: [1, 0] is empty
+}
+
+// scanLimitZero pins the limit-0 contract across every Scanner: a
+// limit-0 scan returns the empty result — no pairs, no panic — for any
+// bounds, including the open-interval sentinels, on both an empty and a
+// populated structure. (limit < 0 is the unbounded spelling; 0 used to
+// mean unbounded and this pass keeps the migration honest.)
+func scanLimitZero(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	sc := s.(set.Scanner)
+	p := rt.Register()
+	defer p.Unregister()
+	bounds := [][2]uint64{
+		{0, math.MaxUint64}, // fully open
+		{1, 100},
+		{0, 50},
+		{50, math.MaxUint64},
+		{7, 7},
+		{10, 3}, // empty interval
+	}
+	checkEmpty := func(stage string) {
+		t.Helper()
+		for _, b := range bounds {
+			if got := sc.Scan(p, b[0], b[1], 0); len(got) != 0 {
+				t.Fatalf("%s: Scan(%d,%d,0) = %v, want empty", stage, b[0], b[1], got)
+			}
+		}
+	}
+	checkEmpty("empty structure")
+	for k := uint64(1); k <= 64; k++ {
+		s.Insert(p, k, k*3)
+	}
+	checkEmpty("populated structure")
+	// limit 0 is not sticky: the same structure still scans normally.
+	if got := sc.Scan(p, 0, math.MaxUint64, -1); len(got) != 64 {
+		t.Fatalf("unbounded scan after limit-0 scans: %d pairs, want 64", len(got))
+	}
+	if osc, ok := s.(set.OptimisticScanner); ok {
+		for _, b := range bounds {
+			if got := osc.OptimisticScan(p, b[0], b[1], 0); len(got) != 0 {
+				t.Fatalf("OptimisticScan(%d,%d,0) = %v, want empty", b[0], b[1], got)
+			}
+		}
+	}
 }
 
 // scanConcurrentDifferential is the concurrent-mutation differential:
@@ -618,9 +684,16 @@ func scanSentinelBounds(t *testing.T, f Factory, blocking bool) {
 // into a mutex-protected model map. Scans running throughout must be
 // sorted, bounded, limited, exact on stable keys and plausible on
 // volatile keys; the final full scan must equal the model exactly.
-func scanConcurrentDifferential(t *testing.T, f Factory, blocking bool) {
+// With optimistic set, the scanner goroutines read exclusively through
+// the structure's unlogged OptimisticScan arm, so the same interval
+// guarantees are enforced on the optimistic path under real mutation.
+func scanConcurrentDifferential(t *testing.T, f Factory, blocking bool, optimistic bool) {
 	s, rt := newSet(f, blocking)
 	sc := s.(set.Scanner)
+	scan := sc.Scan
+	if optimistic {
+		scan = s.(set.OptimisticScanner).OptimisticScan
+	}
 	const workers = 6
 	const keySpace = 192 // keys 1..keySpace; even = stable, odd = volatile
 	opsPer := 1200
@@ -699,11 +772,11 @@ func scanConcurrentDifferential(t *testing.T, f Factory, blocking bool) {
 				}
 				lo := uint64(rng.Intn(keySpace)) + 1
 				hi := lo + uint64(rng.Intn(keySpace))
-				limit := 0
+				limit := -1
 				if rng.Intn(3) == 0 {
 					limit = rng.Intn(24) + 1
 				}
-				got := sc.Scan(p, lo, hi, limit)
+				got := scan(p, lo, hi, limit)
 				if limit > 0 && len(got) > limit {
 					fail("scan over limit: %d > %d", len(got), limit)
 					return
@@ -760,8 +833,8 @@ func scanConcurrentDifferential(t *testing.T, f Factory, blocking bool) {
 	// Quiesced: the final full scan must equal the model exactly.
 	p := rt.Register()
 	defer p.Unregister()
-	got := sc.Scan(p, 0, math.MaxUint64, 0)
-	want := expectedScan(model, 0, math.MaxUint64, 0)
+	got := scan(p, 0, math.MaxUint64, -1)
+	want := expectedScan(model, 0, math.MaxUint64, -1)
 	if len(got) != len(want) {
 		t.Fatalf("final scan: %d pairs, model has %d", len(got), len(want))
 	}
@@ -774,8 +847,10 @@ func scanConcurrentDifferential(t *testing.T, f Factory, blocking bool) {
 
 // scanLinearizable records contended histories mixing scans with
 // inserts and deletes and checks them with lincheck's interval-snapshot
-// Scan semantics.
-func scanLinearizable(t *testing.T, f Factory, blocking bool) {
+// Scan semantics. With optimistic set, the scan fraction of the history
+// runs through the structure's unlogged OptimisticScan arm instead —
+// validated optimistic scans must satisfy the same interval semantics.
+func scanLinearizable(t *testing.T, f Factory, blocking bool, optimistic bool) {
 	s, rt := newSet(f, blocking)
 	const workers = 6
 	const keys = 6
@@ -793,6 +868,10 @@ func scanLinearizable(t *testing.T, f Factory, blocking bool) {
 			p := rt.Register()
 			defer p.Unregister()
 			rng := rand.New(rand.NewSource(int64(w)*1201 + 17))
+			scan := h.Scan
+			if optimistic {
+				scan = h.ScanOptimistic
+			}
 			for i := 0; i < opsPer; i++ {
 				k := uint64(rng.Intn(keys) + 1)
 				switch rng.Intn(5) {
@@ -805,13 +884,151 @@ func scanLinearizable(t *testing.T, f Factory, blocking bool) {
 				case 3:
 					lo := uint64(rng.Intn(keys)) + 1
 					hi := lo + uint64(rng.Intn(keys))
-					limit := 0
+					limit := -1
 					if rng.Intn(3) == 0 {
 						limit = rng.Intn(keys) + 1
 					}
-					h.Scan(p, lo, hi, limit)
+					scan(p, lo, hi, limit)
 				default:
-					h.Scan(p, 0, math.MaxUint64, 0)
+					scan(p, 0, math.MaxUint64, -1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hist := rec.History()
+	if res := lincheck.Check(hist); !res.Ok {
+		t.Fatalf("history of %d ops: %v", len(hist), res)
+	}
+}
+
+// optimisticFindModel is the sequential differential for the unlogged
+// read arm: a scripted mix of inserts, deletes, logged finds and
+// optimistic finds, with every optimistic result compared against the
+// model AND against the logged Find — sequentially the two arms must be
+// indistinguishable.
+func optimisticFindModel(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	or := s.(set.OptimisticReader)
+	p := rt.Register()
+	defer p.Unregister()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(71))
+
+	const ops = 4000
+	const keySpace = 180
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Intn(keySpace) + 1)
+		switch rng.Intn(4) {
+		case 0:
+			v := rng.Uint64()
+			if _, had := model[k]; !had {
+				model[k] = v
+			}
+			s.Insert(p, k, v)
+		case 1:
+			s.Delete(p, k)
+			delete(model, k)
+		case 2:
+			want, had := model[k]
+			v, got := s.Find(p, k)
+			if got != had || (had && v != want) {
+				t.Fatalf("op %d: Find(%d)=(%d,%v), model (%d,%v)", i, k, v, got, want, had)
+			}
+		default:
+			want, had := model[k]
+			v, got := or.OptimisticFind(p, k)
+			if got != had || (had && v != want) {
+				t.Fatalf("op %d: OptimisticFind(%d)=(%d,%v), model (%d,%v)", i, k, v, got, want, had)
+			}
+			lv, lok := s.Find(p, k)
+			if got != lok || (got && v != lv) {
+				t.Fatalf("op %d: OptimisticFind(%d)=(%d,%v) disagrees with Find (%d,%v)", i, k, v, got, lv, lok)
+			}
+		}
+	}
+}
+
+// optimisticScanModel is the sequential differential for the unlogged
+// scan arm, mirroring scanModel through OptimisticScan.
+func optimisticScanModel(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	osc := s.(set.OptimisticScanner)
+	p := rt.Register()
+	defer p.Unregister()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(83))
+
+	const ops = 2500
+	const keySpace = 140
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			k := uint64(rng.Intn(keySpace) + 1)
+			v := rng.Uint64()
+			if _, had := model[k]; !had {
+				model[k] = v
+			}
+			s.Insert(p, k, v)
+		case 2:
+			k := uint64(rng.Intn(keySpace) + 1)
+			s.Delete(p, k)
+			delete(model, k)
+		default:
+			lo := uint64(rng.Intn(keySpace + 1))
+			hi := lo + uint64(rng.Intn(keySpace))
+			if rng.Intn(8) == 0 {
+				lo, hi = 0, math.MaxUint64
+			}
+			limit := -1
+			if rng.Intn(2) == 0 {
+				limit = rng.Intn(12) + 1
+			}
+			got := osc.OptimisticScan(p, lo, hi, limit)
+			want := expectedScan(model, lo, hi, limit)
+			if len(got) != len(want) {
+				t.Fatalf("op %d: OptimisticScan(%d,%d,%d) = %d pairs, want %d", i, lo, hi, limit, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("op %d: OptimisticScan(%d,%d,%d)[%d] = %v, want %v", i, lo, hi, limit, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// optimisticLinearizable records contended histories where half the
+// reads go through the unlogged OptimisticFind arm while logged
+// inserts, deletes and finds race them, and checks the combined history
+// with lincheck: a validated optimistic read must be linearizable
+// exactly like a logged one.
+func optimisticLinearizable(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	const workers = 6
+	const keys = 5
+	const opsPer = 250
+	rec := lincheck.NewRecorder(s, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := rec.Worker(w)
+			p := rt.Register()
+			defer p.Unregister()
+			rng := rand.New(rand.NewSource(int64(w)*2111 + 29))
+			for i := 0; i < opsPer; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				switch rng.Intn(4) {
+				case 0:
+					h.Insert(p, k, uint64(w)*1000+uint64(i))
+				case 1:
+					h.Delete(p, k)
+				case 2:
+					h.Find(p, k)
+				default:
+					h.FindOptimistic(p, k)
 				}
 			}
 		}(w)

@@ -99,6 +99,16 @@ type Options struct {
 	KeyRange uint64
 	// NoPool disables the runtime's object pooling (ablation arm).
 	NoPool bool
+	// OptimisticReads forwards kv.Options.OptimisticReads: read-only
+	// MultiGet (and Get) in LockFree mode then runs as an unlogged
+	// version-vector-validated read (kv.Client.MultiGet) instead of a
+	// read-only locked transaction. The validated read is atomic with
+	// respect to committed transactions — the version vector is read
+	// before, and validated after, all data loads, and transactions
+	// release their ascending-nested shard locks inner-first — so the
+	// conserved-sum guarantee against concurrent Transfers is
+	// preserved (txn_test).
+	OptimisticReads bool
 }
 
 // Store is a transactional wrapper around a sharded kv.Store. All
@@ -119,11 +129,12 @@ type Store struct {
 // (see its txnCapable set).
 func New(f kv.Factory, opt Options) *Store {
 	st := kv.New(f, kv.Options{
-		Shards:        opt.Shards,
-		Blocking:      opt.Mode == Blocking,
-		NoPool:        opt.NoPool,
-		KeyRange:      opt.KeyRange,
-		SharedRuntime: true,
+		Shards:          opt.Shards,
+		Blocking:        opt.Mode == Blocking,
+		NoPool:          opt.NoPool,
+		KeyRange:        opt.KeyRange,
+		SharedRuntime:   true,
+		OptimisticReads: opt.OptimisticReads && opt.Mode == LockFree,
 	})
 	return &Store{kv: st, mode: opt.Mode}
 }
@@ -342,10 +353,17 @@ func commitTrue([]uint64, []bool) ([]uint64, bool) { return nil, true }
 
 // MultiGet returns a consistent snapshot of the keys: all values read
 // at one serialization point (in atomic modes; in NonAtomic mode it is
-// kv's shard-grouped batch read).
+// kv's shard-grouped batch read). With Options.OptimisticReads in
+// LockFree mode the snapshot is taken by kv's optimistic
+// version-vector-validated read instead of a read-only locked
+// transaction — same atomicity, no shard locks, no logging on the
+// validated path.
 func (c *Client) MultiGet(keys []uint64) ([]uint64, []bool) {
 	if c.st.mode == NonAtomic {
 		return c.kc.GetBatch(keys)
+	}
+	if c.st.kv.OptimisticReads() {
+		return c.kc.MultiGet(keys)
 	}
 	vals, oks, _ := c.Txn(keys, nil, commitTrue)
 	return vals, oks
@@ -429,6 +447,12 @@ func (c *Client) Transfer(a, b, amount uint64) bool {
 // NonAtomic mode.
 func (c *Client) Get(k uint64) (uint64, bool) {
 	if c.st.mode == NonAtomic {
+		return c.kc.Get(k)
+	}
+	if c.st.kv.OptimisticReads() {
+		// kv.Client.Get's optimistic arm validates against the shard
+		// lock, so the read serializes against transactions just like
+		// the one-key read-only transaction it replaces.
 		return c.kc.Get(k)
 	}
 	vals, oks, _ := c.Txn([]uint64{k}, nil, commitTrue)
