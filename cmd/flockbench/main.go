@@ -62,6 +62,17 @@
 // An unknown -figure or -series name prints the same catalog and exits
 // non-zero.
 //
+// The observability extension (DESIGN.md S14) — obs runtime metrics
+// collected over the measured window: helping/retry/replay rates,
+// pool hit rates, epoch reclamation lag, per-shard op skew, per-thread
+// fairness and a sampled helps/CAS-fails time series. -metrics adds
+// table sections (and `:metrics` CSV columns, and a "metrics" JSON
+// object); ext-help is the figure built around them:
+//
+//	flockbench -figure ext-help
+//	flockbench -figure ext-ycsb-a -metrics
+//	flockbench -structure leaftree -threads 16 -stall 100 -metrics
+//
 // Machine-readable capture (one JSON record per point, JSONL):
 //
 //	flockbench -figure all -json > BENCH_all.json
@@ -91,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("flockbench", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	var (
-		figure    = flags.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-alloc, ext-txn, ext-txn-keys, ext-ycsb-{a,b,c,e,f,shards}, or 'all')")
+		figure    = flags.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-alloc, ext-help, ext-txn, ext-txn-keys, ext-ycsb-{a,b,c,e,f,shards}, or 'all')")
 		series    = flags.String("series", "", "comma-separated series-name filter for -figure (default: all series)")
 		list      = flags.Bool("list", false, "list figure ids with their series names, and structures")
 		csv       = flags.Bool("csv", false, "emit CSV instead of a table")
@@ -121,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		txnSize   = flags.Int("txnsize", 2, "single-point: keys per multi-key transaction (-txn)")
 		nonAtomic = flags.Bool("nonatomic", false, "single-point: per-key non-atomic arm of the txn layer (-txn)")
 		shards    = flags.Int("shards", 0, "KV shard count (single-point -ycsb/-txn, and the default for ext-ycsb/ext-txn figures)")
+		metrics   = flags.Bool("metrics", false, "collect obs runtime metrics over the measured window (helping/retry rates, fairness, time series); adds table sections, :metrics CSV columns and a 'metrics' JSON object")
 		seed      = flags.Uint64("seed", 42, "workload seed")
 	)
 	if err := flags.Parse(args); err != nil {
@@ -158,6 +170,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *shards > 0 {
 		sc.Shards = *shards
 	}
+	sc.Metrics = *metrics
 	if *sweep != "" {
 		var ts []int
 		for _, part := range strings.Split(*sweep, ",") {
@@ -224,6 +237,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			TxnSize:      *txnSize,
 			TxnNonAtomic: *nonAtomic,
 			Shards:       *shards,
+			Metrics:      *metrics,
 		}
 		if (spec.YCSB != "" || spec.TxnMix != "") && spec.Shards < 1 {
 			spec.Shards = 1
@@ -239,6 +253,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Mops: st.Mops, Std: st.Std, AllocsPerOp: st.AllocsPerOp,
 				P50ns: st.P50.Nanoseconds(), P95ns: st.P95.Nanoseconds(), P99ns: st.P99.Nanoseconds(),
 				OptRestarts: st.OptRestarts, OptEscalations: st.OptEscalations,
+				FairMaxMin: st.FairMaxMin, FairCoV: st.FairCoV,
+				Metrics: st.PointMetrics(),
 			})
 			return 0
 		}
@@ -264,6 +280,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%s threads=%d keys=%d update=%d%% alpha=%.2f blocking=%v stall=%d%s: %.3f Mop/s (±%.3f)  %.2f allocs/op  p50=%s p95=%s p99=%s\n",
 			*structure, *threads, *keys, *update, *alpha, *blocking, *stall, mode,
 			st.Mops, st.Std, st.AllocsPerOp, fmtLat(st.P50), fmtLat(st.P95), fmtLat(st.P99))
+		if pm := st.PointMetrics(); pm != nil {
+			fmt.Fprintf(stdout, "  metrics: helps/op=%.4f recv/op=%.4f replays/op=%.4f casfails/op=%.4f spins/op=%.4f poolhit=%.3f fair=%.2f cov=%.3f\n",
+				pm.HelpsPerOp, pm.HelpsRecvPerOp, pm.ReplaysPerOp, pm.CASFailsPerOp,
+				pm.SpinsPerOp, pm.PoolHitRate, st.FairMaxMin, st.FairCoV)
+			if pm.ShardSkew > 0 {
+				fmt.Fprintf(stdout, "  shard skew (max/mean)=%.3f ops=%v\n", pm.ShardSkew, pm.ShardOps)
+			}
+			if len(pm.Samples) > 0 {
+				fmt.Fprintf(stdout, "  samples (t_ms: helps casfails):")
+				for _, s := range pm.Samples {
+					fmt.Fprintf(stdout, " %.0f:%d/%d", s.AtMs, s.Helps, s.CASFails)
+				}
+				fmt.Fprintln(stdout)
+			}
+		}
 	default:
 		flags.Usage()
 		return 2
@@ -339,6 +370,14 @@ type pointRecord struct {
 	// existing BENCH_*.json consumers see unchanged records.
 	OptRestarts    uint64 `json:"opt_restarts,omitempty"`
 	OptEscalations uint64 `json:"opt_escalations,omitempty"`
+	// Per-thread op-count fairness (max/min ratio and coefficient of
+	// variation), always measured.
+	FairMaxMin float64 `json:"fair_maxmin"`
+	FairCoV    float64 `json:"fair_cov"`
+	// Metrics is the obs runtime-metrics summary, present only when the
+	// point was measured with -metrics (or by a figure like ext-help
+	// that forces collection).
+	Metrics *harness.PointMetrics `json:"metrics,omitempty"`
 }
 
 func writeJSON(w io.Writer, rec pointRecord) {
@@ -356,6 +395,8 @@ func printFigureJSON(w io.Writer, fig harness.Figure) {
 			Mops: pt.Mops, Std: pt.Std, AllocsPerOp: pt.Allocs,
 			P50ns: pt.P50.Nanoseconds(), P95ns: pt.P95.Nanoseconds(), P99ns: pt.P99.Nanoseconds(),
 			OptRestarts: pt.OptRestarts, OptEscalations: pt.OptEscalations,
+			FairMaxMin: pt.FairMaxMin, FairCoV: pt.FairCoV,
+			Metrics: pt.Metrics,
 		})
 	}
 }
@@ -393,10 +434,21 @@ func printFigure(w io.Writer, fig harness.Figure, csv bool) {
 		vals[[2]string{pt.Series, pt.X}] = pt
 	}
 
+	// Any point carrying a metrics summary turns on the metrics columns
+	// and table sections (figure-level Metrics, -metrics, or ext-help).
+	haveMetrics := false
+	for _, pt := range fig.Points {
+		if pt.Metrics != nil {
+			haveMetrics = true
+			break
+		}
+	}
+
 	if csv {
 		// Mops columns first (one per series), then per-series latency
 		// percentile columns in microseconds, then per-series
-		// allocations per operation.
+		// allocations per operation, then (with metrics on) the
+		// per-series obs rates and fairness.
 		header := []string{fig.XLabel}
 		header = append(header, seriesNames...)
 		for _, s := range seriesNames {
@@ -404,6 +456,13 @@ func printFigure(w io.Writer, fig harness.Figure, csv bool) {
 		}
 		for _, s := range seriesNames {
 			header = append(header, s+":allocs")
+		}
+		if haveMetrics {
+			for _, s := range seriesNames {
+				header = append(header,
+					s+":metrics:helps_per_op", s+":metrics:casfails_per_op",
+					s+":metrics:replays_per_op", s+":metrics:fair_maxmin")
+			}
 		}
 		fmt.Fprintln(w, strings.Join(header, ","))
 		for _, x := range xs {
@@ -420,6 +479,20 @@ func printFigure(w io.Writer, fig harness.Figure, csv bool) {
 			}
 			for _, s := range seriesNames {
 				row = append(row, fmt.Sprintf("%.2f", vals[[2]string{s, x}].Allocs))
+			}
+			if haveMetrics {
+				for _, s := range seriesNames {
+					pt := vals[[2]string{s, x}]
+					if pt.Metrics == nil {
+						row = append(row, "", "", "", "")
+						continue
+					}
+					row = append(row,
+						fmt.Sprintf("%.4f", pt.Metrics.HelpsPerOp),
+						fmt.Sprintf("%.4f", pt.Metrics.CASFailsPerOp),
+						fmt.Sprintf("%.4f", pt.Metrics.ReplaysPerOp),
+						fmt.Sprintf("%.2f", pt.FairMaxMin))
+				}
 			}
 			fmt.Fprintln(w, strings.Join(row, ","))
 		}
@@ -475,4 +548,34 @@ func printFigure(w io.Writer, fig harness.Figure, csv bool) {
 		}
 		fmt.Fprintln(w)
 	}
+	if !haveMetrics {
+		return
+	}
+	// The obs metrics sections: helping and CAS-retry rates per
+	// operation (the helping-machinery readout), and per-thread
+	// fairness. Blocking series legitimately show 0 helps/op — the
+	// blocking mode has no helping to count.
+	metricSection := func(label string, cell func(pt harness.Point) string) {
+		fmt.Fprintf(w, "%-12s", "")
+		for _, s := range seriesNames {
+			fmt.Fprintf(w, " %*s", cw, s)
+		}
+		fmt.Fprintln(w, " "+label)
+		for _, x := range xs {
+			fmt.Fprintf(w, "%-12s", x)
+			for _, s := range seriesNames {
+				fmt.Fprintf(w, " %*s", cw, cell(vals[[2]string{s, x}]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	metricSection("(helps/op : casfails/op : replays/op)", func(pt harness.Point) string {
+		if pt.Metrics == nil {
+			return "-"
+		}
+		return fmt.Sprintf("%.4f:%.4f:%.4f", pt.Metrics.HelpsPerOp, pt.Metrics.CASFailsPerOp, pt.Metrics.ReplaysPerOp)
+	})
+	metricSection("(fairness max/min : CoV)", func(pt harness.Point) string {
+		return fmt.Sprintf("%.2f:%.3f", pt.FairMaxMin, pt.FairCoV)
+	})
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -74,6 +75,74 @@ func TestListPrintsCatalog(t *testing.T) {
 	for _, want := range []string{"figures:", "structures:", "ext-ycsb-e", "olcart", "leaftree"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestMetricsFlagEndToEnd runs a tiny single point with -metrics -json
+// and checks the record carries the metrics object and fairness fields.
+func TestMetricsFlagEndToEnd(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-structure", "leaftree", "-threads", "2", "-keys", "256",
+		"-duration", "5ms", "-metrics", "-json",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("-metrics run failed (%d): %s", code, errb.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	m, ok := rec["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf("record has no metrics object:\n%s", out.String())
+	}
+	for _, f := range []string{"helps_per_op", "cas_fails_per_op", "replays_per_op", "samples"} {
+		if _, ok := m[f]; !ok {
+			t.Errorf("metrics object missing %q:\n%s", f, out.String())
+		}
+	}
+	if _, ok := rec["fair_maxmin"]; !ok {
+		t.Errorf("record missing fair_maxmin:\n%s", out.String())
+	}
+}
+
+// TestExtHelpFigureRuns runs a scaled-down ext-help (the figure that
+// forces metrics on) and checks the metrics table sections render.
+func TestExtHelpFigureRuns(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-figure", "ext-help", "-duration", "2ms", "-smallkeys", "128",
+		"-base", "2", "-over", "4",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("ext-help failed (%d): %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"helps/op", "fairness max/min", "2@0", "4@20", "leaftree-lf", "leaftree-bl"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ext-help output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestMetricsCSVColumns: -figure with -metrics -csv adds the :metrics
+// columns.
+func TestMetricsCSVColumns(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-figure", "fig7a", "-series", "lazylist-lf", "-metrics", "-csv",
+		"-duration", "2ms", "-smallkeys", "100", "-largekeys", "200",
+		"-base", "2", "-over", "2",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("metrics csv run failed (%d): %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"lazylist-lf:metrics:helps_per_op", "lazylist-lf:metrics:fair_maxmin"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("CSV header missing %q:\n%s", want, got)
 		}
 	}
 }

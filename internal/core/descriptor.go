@@ -23,7 +23,15 @@ type descriptor struct {
 	thunk Thunk
 	birth uint64
 	done  atomic.Uint32 // update-once boolean
-	first logBlock
+	// owner is the id of the Proc whose acquisition this descriptor
+	// represents; finisher is claimed (CAS from zero) by exactly one run
+	// when metrics are enabled, giving the obs layer exact helping
+	// attribution: claimer == owner is an own-completion, anything else
+	// is a help given, and losing the claim is a replay. Both are scrub
+	// state only — correctness never reads them.
+	owner    uint64
+	finisher atomic.Uint64
+	first    logBlock
 }
 
 // newDescriptor creates (idempotently, when nested inside another thunk)
@@ -35,6 +43,7 @@ func (p *Proc) newDescriptor(f Thunk) *descriptor {
 	d := p.allocDescriptor()
 	d.thunk = f
 	d.birth = p.currentEpoch()
+	d.owner = p.id
 	if p.blk == nil {
 		return d
 	}

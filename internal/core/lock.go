@@ -3,6 +3,8 @@ package flock
 import (
 	"runtime"
 	"sync/atomic"
+
+	"flock/internal/obs"
 )
 
 // lockState is the value held by a lock word: a descriptor pointer, a
@@ -75,6 +77,9 @@ func (l *Lock) TryLock(p *Proc, f Thunk) bool {
 		// from the lock word, so it parks cur.d for pooled reuse after
 		// the epoch grace period (DESIGN.md S10).
 		swapped := l.state.camx(p, cur, myLS)
+		if !swapped && obs.On() {
+			p.metrics.Inc(obs.InstallCASFails)
+		}
 		if swapped && cur.d != nil && cur.d != my {
 			p.retireDescriptor(cur.d)
 		}
@@ -88,6 +93,15 @@ func (l *Lock) TryLock(p *Proc, f Thunk) bool {
 				p.maybeStall() // injected descheduling while holding the lock
 			}
 			result = l.runAndUnlock(p, myLS) // run own critical section
+			if p.blk == nil && obs.On() {
+				p.metrics.Inc(obs.AcquiresLF)
+				// runAndUnlock attempted the completion claim, so by here
+				// the finisher is resolved: if it is not us, a helper
+				// carried our critical section to completion.
+				if my.finisher.Load() != p.id {
+					p.metrics.Inc(obs.HelpsReceived)
+				}
+			}
 		} else {
 			if cur2.locked {
 				l.runAndUnlock(p, cur2) // lost the race: help the winner
@@ -116,16 +130,22 @@ func (l *Lock) Lock(p *Proc, f Thunk) bool {
 		return l.lockBlocking(p, f)
 	}
 	my := p.newDescriptor(f)
+	var spins uint64 // helping rounds while waiting (obs.StrictSpins)
 	for {
 		cur := l.state.Load(p)
 		if cur.locked {
+			spins++
 			l.runAndUnlock(p, cur) // help, then try again
 			continue
 		}
 		// ver is derived from the committed cur, so every run of an
 		// enclosing thunk computes the same myLS (replay-deterministic).
 		myLS := lockState{d: my, locked: true, ver: cur.ver + 1}
-		if l.state.camx(p, cur, myLS) && cur.d != nil && cur.d != my {
+		swapped := l.state.camx(p, cur, myLS)
+		if !swapped && obs.On() {
+			p.metrics.Inc(obs.InstallCASFails)
+		}
+		if swapped && cur.d != nil && cur.d != my {
 			p.retireDescriptor(cur.d) // see TryLock: exactly-once unlink
 		}
 		cur2 := l.state.Load(p)
@@ -133,7 +153,15 @@ func (l *Lock) Lock(p *Proc, f Thunk) bool {
 			if p.blk == nil {
 				p.maybeStall()
 			}
-			return l.runAndUnlock(p, myLS)
+			res := l.runAndUnlock(p, myLS)
+			if p.blk == nil && obs.On() {
+				p.metrics.Inc(obs.AcquiresLF)
+				p.metrics.Add(obs.StrictSpins, spins)
+				if my.finisher.Load() != p.id {
+					p.metrics.Inc(obs.HelpsReceived)
+				}
+			}
+			return res
 		}
 	}
 }
@@ -172,6 +200,22 @@ func (l *Lock) Held() bool {
 // the done flag, and releases the lock if it still holds this descriptor.
 func (l *Lock) runAndUnlock(p *Proc, ls lockState) bool {
 	res := p.run(ls.d)
+	if obs.On() {
+		// Exactly one run wins the completion claim, making helping
+		// attribution exact: claims partition committed thunks into
+		// own-completions and helps-given, and every losing run is a
+		// replay. The claim precedes the done store so the owner's
+		// post-acquisition read of finisher is never racing it.
+		if ls.d.finisher.CompareAndSwap(0, p.id) {
+			if ls.d.owner == p.id {
+				p.metrics.Inc(obs.OwnCompletions)
+			} else {
+				p.metrics.Inc(obs.HelpsGiven)
+			}
+		} else {
+			p.metrics.Inc(obs.ThunkReplays)
+		}
+	}
 	ls.d.done.Store(1) // update-once: every run stores the same value
 	l.state.CAM(p, ls, lockState{d: ls.d, locked: false, ver: ls.ver + 1})
 	return res
@@ -185,13 +229,15 @@ func (l *Lock) tryLockBlocking(p *Proc, f Thunk) bool {
 		return false
 	}
 	if !l.state.b.CompareAndSwap(bx, blockedBox) {
+		p.metrics.Inc(obs.InstallCASFails)
 		return false
 	}
 	l.bver.Add(1) // even -> odd: writes of f follow the acquire bump
 	p.bdepth++
 	p.bheld = append(p.bheld, blockHeld{l: l})
 	if p.bdepth == 1 {
-		p.maybeStall() // outermost acquisition only, as in lock-free mode
+		p.metrics.Inc(obs.AcquiresBlocking) // outermost only, as lock-free
+		p.maybeStall()                      // outermost acquisition only, as in lock-free mode
 	}
 	res := f(p)
 	released := p.bheld[len(p.bheld)-1].released
@@ -218,6 +264,8 @@ func (l *Lock) lockBlocking(p *Proc, f Thunk) bool {
 				p.bdepth++
 				p.bheld = append(p.bheld, blockHeld{l: l})
 				if p.bdepth == 1 {
+					p.metrics.Inc(obs.AcquiresBlocking)
+					p.metrics.Add(obs.StrictSpins, uint64(spins))
 					p.maybeStall() // outermost acquisition only
 				}
 				res := f(p)

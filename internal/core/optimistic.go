@@ -1,5 +1,7 @@
 package flock
 
+import "flock/internal/obs"
+
 // Optimistic version-validated reads (DESIGN.md S13). The paper's own
 // read paths run as optimistic unlocked reads; this file gives flock
 // locks the per-lock version counter that makes the same discipline
@@ -69,24 +71,6 @@ func MaxOptimistic(n int) Option {
 // MaxOptimistic returns the runtime's optimistic restart bound.
 func (rt *Runtime) MaxOptimistic() int { return rt.maxOptimistic }
 
-// NoteOptimisticRestart counts one failed optimistic attempt (lock held
-// at ReadVersion, or validation failure). Exported so composed
-// optimistic arms built outside this package (internal/kv validates a
-// vector of shard locks per operation) feed the same counters.
-func (rt *Runtime) NoteOptimisticRestart() { rt.optRestarts.Add(1) }
-
-// NoteOptimisticEscalation counts one escalation to the logged path
-// after the restart bound was exhausted.
-func (rt *Runtime) NoteOptimisticEscalation() { rt.optEscalations.Add(1) }
-
-// OptimisticStats returns the cumulative optimistic-read counters:
-// restarts (failed attempts) and escalations (fallbacks to the logged
-// path). Monotonic over the runtime's lifetime; sample before/after a
-// measured window to attribute counts to it.
-func (rt *Runtime) OptimisticStats() (restarts, escalations uint64) {
-	return rt.optRestarts.Load(), rt.optEscalations.Load()
-}
-
 // OptimisticRead runs fn as an optimistic unlogged read validated
 // against l's version: fn executes at top level (outside any thunk, so
 // its Mutable loads are plain atomic loads with no commit traffic) and
@@ -121,9 +105,12 @@ func (rt *Runtime) OptimisticRead(p *Proc, l *Lock, fn Thunk) bool {
 				return res
 			}
 		}
-		rt.optRestarts.Add(1)
+		// Restart/escalation counts live in the obs metrics layer
+		// (per-Proc blocks, obs.Snapshot to aggregate), replacing the
+		// Runtime-global atomics this combinator carried before it.
+		p.metrics.Inc(obs.OptRestarts)
 	}
 	p.End()
-	rt.optEscalations.Add(1)
+	p.metrics.Inc(obs.OptEscalations)
 	return l.Lock(p, fn)
 }

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"flock/internal/obs"
 )
 
 // TestVersionBumpsOnAcquireRelease pins the seqlock contract in both
@@ -92,6 +94,13 @@ func TestReadVersionRefusesHeldLock(t *testing.T) {
 // then success, and escalation to the logged path after MaxOptimistic
 // failures.
 func TestOptimisticReadValidatesAndEscalates(t *testing.T) {
+	// Restart/escalation counts live in the obs layer now (per-Proc
+	// blocks, gated); enable collection for the duration of the test and
+	// read p's own block, which no other goroutine writes.
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
 	rt := New(MaxOptimistic(3))
 	p := rt.Register()
 	defer p.Unregister()
@@ -105,7 +114,7 @@ func TestOptimisticReadValidatesAndEscalates(t *testing.T) {
 		got = m.Load(hp)
 		return true
 	})
-	r0, e0 := rt.OptimisticStats()
+	r0, e0 := p.Obs().Load(obs.OptRestarts), p.Obs().Load(obs.OptEscalations)
 	if !ok || got != 42 {
 		t.Fatalf("clean optimistic read = (%v, %d), want (true, 42)", ok, got)
 	}
@@ -128,7 +137,7 @@ func TestOptimisticReadValidatesAndEscalates(t *testing.T) {
 		}
 		return true
 	})
-	r1, e1 := rt.OptimisticStats()
+	r1, e1 := p.Obs().Load(obs.OptRestarts), p.Obs().Load(obs.OptEscalations)
 	if !ok {
 		t.Fatal("escalated optimistic read failed")
 	}
@@ -153,6 +162,10 @@ func TestOptimisticReadValidatesAndEscalates(t *testing.T) {
 // the unlogged arm from inside a thunk: a nested call goes straight to
 // the logged path (counters untouched) and still returns fn's result.
 func TestOptimisticReadNestedFallsBack(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
 	rt := New()
 	p := rt.Register()
 	defer p.Unregister()
@@ -173,7 +186,7 @@ func TestOptimisticReadNestedFallsBack(t *testing.T) {
 	if !ok || got != 7 {
 		t.Fatalf("nested OptimisticRead = (%v, %d), want (true, 7)", ok, got)
 	}
-	if r, e := rt.OptimisticStats(); r != 0 || e != 0 {
+	if r, e := p.Obs().Load(obs.OptRestarts), p.Obs().Load(obs.OptEscalations); r != 0 || e != 0 {
 		t.Fatalf("nested fallback moved counters: restarts=%d escalations=%d", r, e)
 	}
 }

@@ -1,5 +1,7 @@
 package flock
 
+import "flock/internal/obs"
+
 // Per-Proc object pools (§6 of the paper, DESIGN.md S10).
 //
 // The commit path allocates three kinds of objects per operation in a
@@ -94,6 +96,8 @@ func (p *Proc) poolPut(key poolKey, obj any) {
 		if tp.key == key {
 			if len(tp.free) < maxPoolFree {
 				tp.free = append(tp.free, obj)
+			} else {
+				p.metrics.Inc(obs.PoolSpills)
 			}
 			return
 		}
@@ -112,6 +116,7 @@ func (p *Proc) deferReuse(key poolKey, obj any) {
 		// Saturated: drop to the GC. The Begin cadence (reuseTickDrain)
 		// keeps attempting drains, so the list unsticks as soon as the
 		// epoch moves again.
+		p.metrics.Inc(obs.PoolSpills)
 		return
 	}
 	p.pending = append(p.pending, reusable{key: key, obj: obj, epoch: p.rt.epochs.GlobalEpoch()})
@@ -187,9 +192,13 @@ func (p *Proc) scrubDescriptor(d *descriptor) {
 	d.first.resetPlain()
 	d.thunk = nil
 	d.birth = 0
+	d.owner = 0
+	d.finisher.Store(0)
 	d.done.Store(0)
 	if len(p.dfree) < maxPoolFree {
 		p.dfree = append(p.dfree, d)
+	} else {
+		p.metrics.Inc(obs.PoolSpills)
 	}
 }
 
@@ -200,9 +209,11 @@ func (p *Proc) allocDescriptor() *descriptor {
 			d := p.dfree[n-1]
 			p.dfree[n-1] = nil
 			p.dfree = p.dfree[:n-1]
+			p.metrics.Inc(obs.PoolHits)
 			return d
 		}
 	}
+	p.metrics.Inc(obs.PoolMisses)
 	return &descriptor{}
 }
 
@@ -237,9 +248,11 @@ func (p *Proc) allocBlock() *logBlock {
 			b := p.bfree[n-1]
 			p.bfree[n-1] = nil
 			p.bfree = p.bfree[:n-1]
+			p.metrics.Inc(obs.PoolHits)
 			return b
 		}
 	}
+	p.metrics.Inc(obs.PoolMisses)
 	return &logBlock{}
 }
 
@@ -254,6 +267,8 @@ func (p *Proc) freeBlock(b *logBlock) {
 	b.resetPlain()
 	if len(p.bfree) < maxPoolFree {
 		p.bfree = append(p.bfree, b)
+	} else {
+		p.metrics.Inc(obs.PoolSpills)
 	}
 }
 
@@ -263,9 +278,11 @@ func allocBox[V comparable](p *Proc, v V) *mbox[V] {
 		if o := p.poolGet(boxKey[V]()); o != nil {
 			bx := o.(*mbox[V])
 			bx.v = v
+			p.metrics.Inc(obs.PoolHits)
 			return bx
 		}
 	}
+	p.metrics.Inc(obs.PoolMisses)
 	return &mbox[V]{v: v}
 }
 

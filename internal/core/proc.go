@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"flock/internal/epoch"
+	"flock/internal/obs"
 )
 
 // Runtime owns the global state shared by all Procs: the epoch-based
@@ -26,11 +27,9 @@ type Runtime struct {
 	// machine produce naturally). 0 disables injection.
 	stallEvery atomic.Uint32
 	// maxOptimistic bounds optimistic read attempts before escalating to
-	// the logged path (optimistic.go); optRestarts/optEscalations count
-	// failed attempts and escalations across the runtime's lifetime.
-	maxOptimistic  int
-	optRestarts    atomic.Uint64
-	optEscalations atomic.Uint64
+	// the logged path (optimistic.go). Restart/escalation counts live in
+	// the obs metrics layer (per-Proc blocks), not on the Runtime.
+	maxOptimistic int
 }
 
 // Option configures a Runtime.
@@ -101,6 +100,13 @@ type Proc struct {
 	slot   *epoch.Slot
 	rng    uint64
 	stalls uint32 // acquisitions since the last injected stall
+	// id is the Proc's registration ordinal (nonzero); descriptors stamp
+	// it as their owner so completion claims can tell "I finished my own
+	// thunk" from "I helped someone else's" (obs metrics).
+	id uint64
+	// metrics is the Proc's private obs counter block: cache-padded,
+	// written only by this worker, summed by obs.Snapshot.
+	metrics *obs.Block
 	// bdepth is the blocking-mode critical-section nesting depth. In
 	// lock-free mode "top level" is p.blk == nil, but blocking mode has
 	// no log, so nested blocking acquisitions (composed transactions)
@@ -129,9 +135,11 @@ type Proc struct {
 	_ [32]byte // discourage false sharing between adjacent Procs
 }
 
-// procSeq distinguishes Procs across all Runtimes so every worker gets a
-// private backoff-jitter stream (a shared constant seed would make all
-// workers back off in lockstep, defeating the jitter).
+// procSeq distinguishes Procs across all Runtimes: it seeds every
+// worker's private backoff-jitter stream (a shared constant seed would
+// make all workers back off in lockstep, defeating the jitter) and,
+// being nonzero, doubles as the Proc id that descriptor completion
+// claims are attributed to.
 var procSeq atomic.Uint64
 
 // seedRNG turns a registration ordinal into a well-mixed splitmix64
@@ -145,18 +153,32 @@ func seedRNG(n uint64) uint64 {
 
 // Register creates a Proc for the calling worker goroutine.
 func (rt *Runtime) Register() *Proc {
-	return &Proc{rt: rt, slot: rt.epochs.Register(), rng: seedRNG(procSeq.Add(1))}
+	seq := procSeq.Add(1)
+	return &Proc{
+		rt:      rt,
+		slot:    rt.epochs.Register(),
+		rng:     seedRNG(seq),
+		id:      seq,
+		metrics: obs.NewBlock(),
+	}
 }
 
-// Unregister releases the Proc's epoch slot. Pending retirements are
-// handed to the manager; objects awaiting pooled reuse are dropped to
-// the garbage collector (their grace periods may not have elapsed, so
-// they cannot join another Proc's freelist).
+// Unregister releases the Proc's epoch slot and folds its metrics block
+// into the obs retired totals (so snapshots taken after a worker exits
+// still see its events). Pending retirements are handed to the manager;
+// objects awaiting pooled reuse are dropped to the garbage collector
+// (their grace periods may not have elapsed, so they cannot join
+// another Proc's freelist).
 func (p *Proc) Unregister() {
 	p.slot.Drain()
 	p.slot.Unregister()
 	p.pending = nil
+	p.metrics.Release()
 }
+
+// Obs returns the Proc's metrics block, for layers above core (kv, txn)
+// that attribute their own events to the worker.
+func (p *Proc) Obs() *obs.Block { return p.metrics }
 
 // Begin enters an epoch guard. Every data structure operation must run
 // between Begin and End so that memory retired by concurrent operations

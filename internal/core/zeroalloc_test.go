@@ -2,6 +2,8 @@ package flock
 
 import (
 	"testing"
+
+	"flock/internal/obs"
 )
 
 // Allocation regression pins for the zero-allocation commit path
@@ -115,9 +117,99 @@ func TestAllocsOptimisticRead(t *testing.T) {
 		if got := testing.AllocsPerRun(500, op); got != 0 {
 			t.Errorf("pooling=%v: optimistic read allocates %v per op, must stay 0", pool, got)
 		}
-		if r, e := rt.OptimisticStats(); r != 0 || e != 0 {
+		if r, e := p.Obs().Load(obs.OptRestarts), p.Obs().Load(obs.OptEscalations); r != 0 || e != 0 {
 			t.Errorf("pooling=%v: uncontended loop restarted (%d) or escalated (%d)", pool, r, e)
 		}
+	}
+}
+
+// TestAllocsMetricsDisabledIsFree pins the observability bargain's cheap
+// half (DESIGN.md S14): with the obs flag off — the default — the
+// instrumented lock-free commit path stays allocation-free, identical to
+// the pre-instrumentation pin above. Counter sites compile to a load of
+// one cold bool and a skipped branch; anything heavier (boxing, deferred
+// closures, lazily allocated blocks) would show up here as allocs/op.
+func TestAllocsMetricsDisabledIsFree(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("obs metrics unexpectedly enabled at test entry")
+	}
+	rt := New()
+	p := rt.Register()
+	defer p.Unregister()
+	var l Lock
+	var m Mutable[uint64]
+	m.Init(7)
+	var sink uint64
+	f := func(hp *Proc) bool {
+		sink = m.Load(hp)
+		return true
+	}
+	op := func() {
+		p.Begin()
+		l.TryLock(p, f)
+		p.End()
+	}
+	s0 := obs.Snapshot()
+	warm(2000, op)
+	_ = sink
+	if got := testing.AllocsPerRun(500, op); got > 0.5 {
+		t.Errorf("metrics-disabled lock-free read: %v allocs/op, want ~0", got)
+	}
+	if n := obs.Snapshot().Sub(s0).Get(obs.AcquiresLF); n != 0 {
+		t.Errorf("disabled counters moved: %d lock-free acquires recorded", n)
+	}
+}
+
+// TestAllocsMetricsEnabled pins the expensive half: with the obs flag
+// ON, the committed lock-free read, the blocking read and the optimistic
+// read all still allocate nothing in steady state. Every counter write
+// lands in the Proc's preallocated padded block, so enabling collection
+// costs atomic adds — never heap traffic.
+func TestAllocsMetricsEnabled(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"lockfree", nil},
+		{"blocking", []Option{Blocking()}},
+	} {
+		rt := New(tc.opts...)
+		p := rt.Register()
+		var l Lock
+		var m Mutable[uint64]
+		m.Init(7)
+		var sink uint64
+		f := func(hp *Proc) bool {
+			sink = m.Load(hp)
+			return true
+		}
+		op := func() {
+			p.Begin()
+			l.TryLock(p, f)
+			p.End()
+		}
+		warm(2000, op)
+		_ = sink
+		if got := testing.AllocsPerRun(500, op); got > 0.5 {
+			t.Errorf("%s: metrics-enabled read allocates %v per op, want ~0", tc.name, got)
+		}
+		opt := func() { rt.OptimisticRead(p, &l, f) }
+		warm(2000, opt)
+		if got := testing.AllocsPerRun(500, opt); got != 0 {
+			t.Errorf("%s: metrics-enabled optimistic read allocates %v per op, must stay 0", tc.name, got)
+		}
+		wantCounter := obs.AcquiresLF
+		if len(tc.opts) > 0 {
+			wantCounter = obs.AcquiresBlocking
+		}
+		if p.Obs().Load(wantCounter) == 0 {
+			t.Errorf("%s: enabled run recorded no acquisitions — instrumentation not wired?", tc.name)
+		}
+		p.Unregister()
 	}
 }
 

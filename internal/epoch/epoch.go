@@ -27,6 +27,8 @@ package epoch
 import (
 	"sync"
 	"sync/atomic"
+
+	"flock/internal/obs"
 )
 
 // Quiescent is announced by slots that are not inside any guard.
@@ -212,14 +214,25 @@ func (m *Manager) minAnnounced() uint64 {
 
 // TryAdvance bumps the global epoch if every registered slot is either
 // quiescent or has caught up with it. Returns whether it advanced.
+// Attempts and successes are counted on the shared obs block: advancement
+// is a global event with no per-worker owner, and it fires orders of
+// magnitude less often than lock events (advanceEvery, batch flushes).
 func (m *Manager) TryAdvance() bool {
+	track := obs.On()
+	if track {
+		obs.Global().Inc(obs.EpochAdvanceTries)
+	}
 	g := m.global.Load()
 	for _, s := range *m.slots.Load() {
 		if a := s.announced.Load(); a < g {
 			return false
 		}
 	}
-	return m.global.CompareAndSwap(g, g+1)
+	ok := m.global.CompareAndSwap(g, g+1)
+	if ok && track {
+		obs.Global().Inc(obs.EpochAdvances)
+	}
+	return ok
 }
 
 // SafeBefore returns the epoch bound below which retired objects may be
@@ -241,10 +254,17 @@ func (m *Manager) SafeBefore() uint64 {
 // reclaim runs the slot's ripe batches.
 func (s *Slot) reclaim() {
 	bound := s.mgr.SafeBefore()
+	track := obs.On()
 	i := 0
 	for ; i < len(s.pending); i++ {
 		if s.pending[i].epoch >= bound {
 			break
+		}
+		if track {
+			// Reclamation lag: how many epochs a batch waited between
+			// retirement and reclamation (bound > epoch for ripe batches).
+			obs.Global().Inc(obs.EpochReclaimBatches)
+			obs.Global().Add(obs.EpochReclaimLagEpochs, bound-s.pending[i].epoch)
 		}
 		for _, fn := range s.pending[i].fns {
 			fn()
@@ -275,7 +295,12 @@ func (m *Manager) reclaimOrphans(bound uint64) {
 		m.orphans = keep
 	}
 	m.mu.Unlock()
+	track := obs.On()
 	for _, b := range ripe {
+		if track {
+			obs.Global().Inc(obs.EpochReclaimBatches)
+			obs.Global().Add(obs.EpochReclaimLagEpochs, bound-b.epoch)
+		}
 		for _, fn := range b.fns {
 			fn()
 		}

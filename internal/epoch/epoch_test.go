@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"flock/internal/obs"
 )
 
 func TestRegisterStartsQuiescent(t *testing.T) {
@@ -374,4 +376,71 @@ func TestSafeBeforeBounds(t *testing.T) {
 	if got := m.SafeBefore(); got != m.GlobalEpoch() {
 		t.Fatalf("SafeBefore = %d after guard exit, want global %d", got, m.GlobalEpoch())
 	}
+}
+
+// TestMetricsAdvanceAndReclaimCounters pins the obs wiring (DESIGN.md
+// S14): TryAdvance traffic lands on the shared global block, and every
+// reclaimed batch contributes one batch count plus its epoch lag
+// (bound - retirement epoch) to the lag sum.
+func TestMetricsAdvanceAndReclaimCounters(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	m := NewManager()
+	s := m.Register()
+	s0 := obs.Snapshot()
+
+	// A guard that has caught up with the global epoch does not block
+	// the first advance, but it lags the bumped epoch and blocks the
+	// second — one counted success and one counted failure.
+	q := m.Register()
+	q.Enter()
+	if !m.TryAdvance() {
+		t.Fatal("TryAdvance blocked by a caught-up guard")
+	}
+	if m.TryAdvance() {
+		t.Fatal("TryAdvance succeeded under a lagging guard")
+	}
+	q.Exit()
+
+	// Successful advances, with a retirement riding along.
+	reclaimed := 0
+	s.Enter()
+	s.Retire(func() { reclaimed++ })
+	s.Exit()
+	for i := 0; i < 4; i++ {
+		s.Enter()
+		s.Exit()
+		if !m.TryAdvance() {
+			t.Fatalf("quiescent TryAdvance %d failed", i)
+		}
+	}
+	s.Drain()
+	if reclaimed != 1 {
+		t.Fatalf("retired callback ran %d times, want 1", reclaimed)
+	}
+
+	d := obs.Snapshot().Sub(s0)
+	// The slot machinery auto-advances on its own cadence (advanceEvery,
+	// batch flushes), so exact counts would pin an internal policy; the
+	// invariants are what matter: at least our 5 explicit successes, and
+	// strictly more tries than successes (the blocked attempt counted).
+	tries, adv := d.Get(obs.EpochAdvanceTries), d.Get(obs.EpochAdvances)
+	if adv < 5 {
+		t.Errorf("EpochAdvances = %d, want >= 5", adv)
+	}
+	if tries <= adv {
+		t.Errorf("EpochAdvanceTries = %d with %d advances: the blocked attempt was not counted", tries, adv)
+	}
+	if b := d.Get(obs.EpochReclaimBatches); b == 0 {
+		t.Error("reclaimed a batch but EpochReclaimBatches stayed 0")
+	}
+	// The batch waited at least the two-epoch grace period, so the lag
+	// sum must be >= the batch count.
+	if lag, b := d.Get(obs.EpochReclaimLagEpochs), d.Get(obs.EpochReclaimBatches); lag < b {
+		t.Errorf("lag sum %d < batch count %d: lag not recorded", lag, b)
+	}
+	q.Unregister()
+	s.Unregister()
 }

@@ -27,6 +27,10 @@ type Scale struct {
 	Over      int   // the paper's "216 threads" oversubscribed point
 	Shards    int   // default kv.Store shard count for the ext-ycsb figures
 	Seed      uint64
+	// Metrics enables obs runtime-metrics collection for every point of
+	// the figure (figures that exist to show the metrics, like ext-help,
+	// force it on regardless).
+	Metrics bool
 }
 
 // DefaultScale returns the scaled-down defaults.
@@ -85,6 +89,14 @@ type Point struct {
 	// series set Optimistic; see Stats).
 	OptRestarts    uint64
 	OptEscalations uint64
+	// Per-thread op-count fairness over the measured window (see
+	// harness.fairness); always populated.
+	FairMaxMin float64
+	FairCoV    float64
+	// Metrics carries the obs runtime-metrics summary; nil unless the
+	// point was measured with Spec.Metrics (Scale.Metrics or a figure
+	// that forces it).
+	Metrics *PointMetrics
 }
 
 // Figure is a fully measured figure.
@@ -559,6 +571,44 @@ func figSpecs() []FigureSpec {
 			return txnSpec(sc, s, "ycsbt", sc.Base, atoi(x))
 		},
 	})
+	// Extension: the helping machinery made visible (DESIGN.md S14).
+	// The x axis is "threads@stall-every" — full subscription and
+	// oversubscription, each with no stall injection, mild injection and
+	// aggressive injection. With obs metrics forced on, the lock-free
+	// arm's helping rate (helps/op in the metrics table, helps over time
+	// in the samples series) should rise with both oversubscription and
+	// stall frequency, while the blocking arm records no helping at all
+	// — the same machinery ext-stall shows as a throughput gap, read out
+	// directly as events.
+	specs = append(specs, FigureSpec{
+		ID:     "ext-help",
+		Paper:  "Extension: helping and retry rates under oversubscription and stall injection, 50% updates, alpha 0.75",
+		XLabel: "threads@stall-every",
+		Series: []Series{
+			{Name: "leaftree-lf", Structure: "leaftree", Blocking: false},
+			{Name: "leaftree-bl", Structure: "leaftree", Blocking: true},
+		},
+		Xs: func(sc Scale) []string {
+			var out []string
+			for _, t := range []int{sc.Base, sc.Over} {
+				for _, st := range []string{"0", "200", "20"} {
+					out = append(out, fmt.Sprintf("%d@%s", t, st))
+				}
+			}
+			return out
+		},
+		SpecFor: func(sc Scale, s Series, x string) Spec {
+			var threads, stall int
+			if _, err := fmt.Sscanf(x, "%d@%d", &threads, &stall); err != nil {
+				panic(fmt.Sprintf("harness: malformed ext-help x value %q: %v", x, err))
+			}
+			sp := base(sc, s)
+			sp.KeyRange, sp.Threads, sp.UpdatePct, sp.Alpha = sc.SmallKeys, threads, 50, 0.75
+			sp.StallEvery = stall
+			sp.Metrics = true // the metrics ARE this figure's payload
+			return sp
+		},
+	})
 	specs = append(specs, FigureSpec{
 		ID:     "ext-ycsb-shards",
 		Paper:  "Extension: YCSB-A on the KV store, oversubscribed threads, zipfian 0.99, shard sweep",
@@ -597,6 +647,10 @@ func RunFigure(fs FigureSpec, sc Scale) (Figure, error) {
 	for _, x := range fs.Xs(sc) {
 		for _, s := range fs.Series {
 			spec := fs.SpecFor(sc, s, x)
+			spec.Figure = fs.ID
+			if sc.Metrics {
+				spec.Metrics = true
+			}
 			st, err := RunStats(spec, sc.Warmup, sc.Repeats)
 			if err != nil {
 				return fig, err
@@ -606,6 +660,8 @@ func RunFigure(fs FigureSpec, sc Scale) (Figure, error) {
 				Allocs: st.AllocsPerOp,
 				P50:    st.P50, P95: st.P95, P99: st.P99,
 				OptRestarts: st.OptRestarts, OptEscalations: st.OptEscalations,
+				FairMaxMin: st.FairMaxMin, FairCoV: st.FairCoV,
+				Metrics: st.PointMetrics(),
 			})
 		}
 	}

@@ -6,15 +6,18 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	flock "flock/internal/core"
+	"flock/internal/obs"
 
 	"flock/internal/baseline/ellen"
 	"flock/internal/baseline/harris"
@@ -153,6 +156,42 @@ type Spec struct {
 	// without the set.OptimisticReader capability is refused up front,
 	// like the Scannable gate. Ignored when YCSB and TxnMix are empty.
 	Optimistic bool
+	// Metrics enables the obs runtime-metrics layer for the measured
+	// window: measure() flips the obs flag on around the window (and
+	// restores it after), snapshots counters at the window edges, and
+	// samples cumulative snapshots at MetricsInterval to produce the
+	// time series in Result.Metrics. Off by default — the disabled layer
+	// is a cold-bool branch with zero allocations (obs package doc).
+	Metrics bool
+	// MetricsInterval is the time-series sampling cadence; values <= 0
+	// mean Duration/8 (clamped to >= 1ms).
+	MetricsInterval time.Duration
+	// Figure is a label for the figure this spec was derived from
+	// (RunFigure sets it); it only feeds the pprof "figure" label on
+	// worker goroutines, so CPU profiles attribute samples per series.
+	Figure string
+}
+
+// modeLabel names the spec's concurrency-control arm for pprof labels.
+func (spec Spec) modeLabel() string {
+	switch {
+	case spec.TxnMix != "" && spec.TxnNonAtomic:
+		return "nonatomic"
+	case spec.Blocking:
+		return "blocking"
+	case spec.Optimistic:
+		return "optimistic"
+	default:
+		return "lockfree"
+	}
+}
+
+// figureLabel is Spec.Figure, or "adhoc" for specs built by hand.
+func (spec Spec) figureLabel() string {
+	if spec.Figure == "" {
+		return "adhoc"
+	}
+	return spec.Figure
 }
 
 // Result is one measured point. Hist is the merged per-operation
@@ -166,12 +205,25 @@ type Result struct {
 	Mops        float64
 	AllocsPerOp float64
 	Hist        *LatencyHist
-	// OptRestarts and OptEscalations are the store's optimistic-read
-	// counters over the measured window (KV path with Spec.Optimistic
-	// only): failed validation attempts, and operations that fell back
-	// to the locked path after MaxOptimistic failures.
+	// OptRestarts counts failed optimistic validation attempts and
+	// OptEscalations counts operations that fell back to the locked path
+	// after MaxOptimistic failures, both summed from the store's always-on
+	// counters over the measured window (KV and txn paths with
+	// Spec.Optimistic; zero otherwise). The obs metrics layer mirrors the
+	// same events per worker when Spec.Metrics is set (Metrics.Window).
 	OptRestarts    uint64
 	OptEscalations uint64
+	// FairMaxMin and FairCoV summarize the per-thread op-count spread of
+	// the window (always computed): the busiest thread's count over the
+	// laziest's (clamped to >= 1 op to stay finite on tiny windows), and
+	// the coefficient of variation across threads. 1.0 / 0.0 is perfect
+	// fairness; helping tends to keep these low where blocking locks let
+	// starved threads fall behind.
+	FairMaxMin float64
+	FairCoV    float64
+	// Metrics holds the obs counter deltas, time series and per-shard op
+	// counts for the window; nil unless Spec.Metrics was set.
+	Metrics *MetricsWindow
 }
 
 // P50 returns the median per-op latency (0 on an empty histogram).
@@ -383,6 +435,7 @@ func runTimedKV(spec Spec) (Result, error) {
 	st.SetStallInjection(spec.StallEvery)
 
 	r0, e0 := st.OptimisticStats()
+	so0 := st.ShardOps()
 	res, err := measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
 		c := st.Register()
 		defer c.Close()
@@ -404,6 +457,11 @@ func runTimedKV(spec Spec) (Result, error) {
 	if err == nil {
 		r1, e1 := st.OptimisticStats()
 		res.OptRestarts, res.OptEscalations = r1-r0, e1-e0
+		if res.Metrics != nil {
+			// Workers closed their clients inside the window (measure waits
+			// for them), so the fold-on-Close totals now cover it.
+			res.Metrics.ShardOps = subSlices(st.ShardOps(), so0)
+		}
 	}
 	return res, err
 }
@@ -488,6 +546,7 @@ func runTimedTxn(spec Spec) (Result, error) {
 	st.SetStallInjection(spec.StallEvery)
 
 	r0, e0 := st.KV().OptimisticStats()
+	so0 := st.KV().ShardOps()
 	res, err := measure(spec, func(w int, begin func(), stop *atomic.Bool, hist *LatencyHist) (uint64, error) {
 		c := st.Register()
 		defer c.Close()
@@ -511,6 +570,9 @@ func runTimedTxn(spec Spec) (Result, error) {
 	if err == nil {
 		r1, e1 := st.KV().OptimisticStats()
 		res.OptRestarts, res.OptEscalations = r1-r0, e1-e0
+		if res.Metrics != nil {
+			res.Metrics.ShardOps = subSlices(st.KV().ShardOps(), so0)
+		}
 	}
 	return res, err
 }
@@ -526,8 +588,23 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 	var stop atomic.Bool
 	var total atomic.Uint64
 	hists := make([]*LatencyHist, spec.Threads)
+	counts := make([]uint64, spec.Threads) // per-worker op counts (fairness)
 	errs := make([]error, spec.Threads)
 	start := make(chan struct{})
+	// Worker goroutines carry pprof labels so a CPU profile of a figure
+	// run attributes samples per series (structure × mode × figure).
+	labels := pprof.Labels(
+		"structure", spec.Structure,
+		"mode", spec.modeLabel(),
+		"figure", spec.figureLabel(),
+	)
+	if spec.Metrics {
+		// The obs flag is global; save/restore lets nested or back-to-back
+		// runs with different Metrics settings compose.
+		prev := obs.Enabled()
+		obs.SetEnabled(true)
+		defer obs.SetEnabled(prev)
+	}
 	var ready, wg sync.WaitGroup
 	for w := 0; w < spec.Threads; w++ {
 		hists[w] = NewLatencyHist()
@@ -535,18 +612,21 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			began := false
-			begin := func() {
-				if !began {
-					began = true
-					ready.Done()
-					<-start
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				began := false
+				begin := func() {
+					if !began {
+						began = true
+						ready.Done()
+						<-start
+					}
 				}
-			}
-			defer begin()
-			n, err := worker(w, begin, &stop, hists[w])
-			errs[w] = err
-			total.Add(n)
+				defer begin()
+				n, err := worker(w, begin, &stop, hists[w])
+				errs[w] = err
+				counts[w] = n // w's slot only; read after wg.Wait
+				total.Add(n)
+			})
 		}(w)
 	}
 	ready.Wait()
@@ -555,12 +635,50 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 	// ReadMemStats itself runs outside the window.
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
+	var s0 obs.Counts
+	if spec.Metrics {
+		s0 = obs.Snapshot()
+	}
 	t0 := time.Now()
 	close(start)
+	var samples []MetricSample
+	var samplerStop, samplerDone chan struct{}
+	if spec.Metrics {
+		samplerStop, samplerDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			interval := spec.MetricsInterval
+			if interval <= 0 {
+				interval = spec.Duration / 8
+			}
+			if interval < time.Millisecond {
+				interval = time.Millisecond
+			}
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-tick.C:
+					d := obs.Snapshot().Sub(s0)
+					samples = append(samples, MetricSample{
+						AtMs:     time.Since(t0).Seconds() * 1e3,
+						Helps:    d.Get(obs.HelpsGiven),
+						CASFails: d.Get(obs.InstallCASFails),
+					})
+				}
+			}
+		}()
+	}
 	time.Sleep(spec.Duration)
 	stop.Store(true)
 	wg.Wait()
 	el := time.Since(t0)
+	if spec.Metrics {
+		close(samplerStop)
+		<-samplerDone
+	}
 	runtime.ReadMemStats(&ms1)
 
 	merged := NewLatencyHist()
@@ -579,8 +697,22 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 		Mops:    float64(ops) / el.Seconds() / 1e6,
 		Hist:    merged,
 	}
+	res.FairMaxMin, res.FairCoV = fairness(counts)
 	if ops > 0 {
 		res.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(ops)
+	}
+	if spec.Metrics {
+		// Final snapshot after wg.Wait: every worker has unregistered, so
+		// its block is folded into the retired totals and the delta covers
+		// the whole window (plus the workers' post-stop partial ops —
+		// symmetric with how Ops counts them).
+		d := obs.Snapshot().Sub(s0)
+		samples = append(samples, MetricSample{
+			AtMs:     el.Seconds() * 1e3,
+			Helps:    d.Get(obs.HelpsGiven),
+			CASFails: d.Get(obs.InstallCASFails),
+		})
+		res.Metrics = &MetricsWindow{Window: d, Samples: samples}
 	}
 	return res, nil
 }
@@ -594,12 +726,23 @@ type Stats struct {
 	Mops, Std     float64
 	AllocsPerOp   float64
 	P50, P95, P99 time.Duration
+	// Ops totals completed operations across the measured repetitions
+	// (the denominator for the per-op metric rates).
+	Ops uint64
 	// OptRestarts and OptEscalations total the failed optimistic
 	// validation attempts and locked-path fallbacks across the measured
 	// repetitions — the restart-storm observability the escalation
 	// guard tests rely on.
 	OptRestarts    uint64
 	OptEscalations uint64
+	// FairMaxMin and FairCoV are the per-thread op-count spread, averaged
+	// over the measured repetitions (Result doc).
+	FairMaxMin float64
+	FairCoV    float64
+	// Metrics aggregates the obs windows of the measured repetitions
+	// (counter deltas and shard ops summed; time series from the last
+	// repetition); nil unless Spec.Metrics was set.
+	Metrics *MetricsWindow
 }
 
 // RunStats performs warmup runs followed by measured repetitions,
@@ -625,10 +768,23 @@ func RunStats(spec Spec, warmup, repeats int) (Stats, error) {
 		vals = append(vals, r.Mops)
 		allocs += r.AllocsPerOp
 		merged.Merge(r.Hist)
+		st.Ops += r.Ops
 		st.OptRestarts += r.OptRestarts
 		st.OptEscalations += r.OptEscalations
+		st.FairMaxMin += r.FairMaxMin
+		st.FairCoV += r.FairCoV
+		if r.Metrics != nil {
+			if st.Metrics == nil {
+				st.Metrics = &MetricsWindow{}
+			}
+			st.Metrics.Window = st.Metrics.Window.Add(r.Metrics.Window)
+			st.Metrics.ShardOps = addSlices(st.Metrics.ShardOps, r.Metrics.ShardOps)
+			st.Metrics.Samples = r.Metrics.Samples // last repetition's series
+		}
 	}
 	st.AllocsPerOp = allocs / float64(repeats)
+	st.FairMaxMin /= float64(repeats)
+	st.FairCoV /= float64(repeats)
 	for _, v := range vals {
 		st.Mops += v
 	}

@@ -273,7 +273,7 @@ func TestFigureIndexComplete(t *testing.T) {
 	figs := Figures()
 	want := []string{"fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
 		"fig5f", "fig5g", "fig5h", "fig6a", "fig6b", "fig7a", "fig7b", "ext-stall",
-		"ext-alloc", "ext-txn", "ext-txn-keys", "ext-ycsb-a", "ext-ycsb-b",
+		"ext-alloc", "ext-help", "ext-txn", "ext-txn-keys", "ext-ycsb-a", "ext-ycsb-b",
 		"ext-ycsb-c", "ext-ycsb-e", "ext-ycsb-f", "ext-ycsb-shards"}
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures, want %d", len(figs), len(want))

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	flock "flock/internal/core"
+	"flock/internal/obs"
 	"flock/internal/structures/set"
 	"flock/internal/workload"
 )
@@ -104,6 +105,11 @@ type Store struct {
 	// harness samples them around measured windows (RunStats).
 	optRestarts    atomic.Uint64
 	optEscalations atomic.Uint64
+	// shardOps accumulates per-shard routed-op counts for skew
+	// visibility (obs metrics). Clients count locally, with no
+	// synchronization, and fold into these atomics on Close; counts only
+	// accrue while obs metrics are enabled.
+	shardOps []atomic.Uint64
 }
 
 // New builds a store whose shards each hold a fresh structure from f.
@@ -120,6 +126,7 @@ func New(f Factory, opt Options) *Store {
 	st := &Store{
 		shards: make([]shard, n), native: true, scan: true,
 		optGet: opt.OptimisticReads, optScan: opt.OptimisticReads,
+		shardOps: make([]atomic.Uint64, n),
 	}
 	var fopts []flock.Option
 	if opt.NoPool {
@@ -175,6 +182,20 @@ func (st *Store) OptimisticStats() (restarts, escalations uint64) {
 	return st.optRestarts.Load(), st.optEscalations.Load()
 }
 
+// ShardOps returns the cumulative per-shard routed-op counts folded in
+// by closed clients (single-key and batch operations; scans excluded).
+// Counts accrue only while obs metrics are enabled, and a client's
+// contribution lands when it closes — sample after workers have closed
+// their clients to see a whole window. Monotonic; diff two samples to
+// attribute counts to a window.
+func (st *Store) ShardOps() []uint64 {
+	out := make([]uint64, len(st.shardOps))
+	for i := range st.shardOps {
+		out[i] = st.shardOps[i].Load()
+	}
+	return out
+}
+
 // Runtime returns the store-wide runtime when the store was built with
 // Options.SharedRuntime, and nil for per-shard-runtime stores.
 func (st *Store) Runtime() *flock.Runtime { return st.rt }
@@ -222,13 +243,23 @@ func (st *Store) ShardOf(k uint64) int {
 type Client struct {
 	st    *Store
 	procs []*flock.Proc
+	// ops counts this client's routed single-key and batch operations
+	// per shard (plain increments — the client is single-goroutine);
+	// folded into Store.shardOps on Close. Scans are excluded: a
+	// scatter-gather scan touches every shard by construction, so it
+	// carries no skew signal.
+	ops []uint64
 }
 
 // Register creates a client, registering a worker context with every
 // shard's runtime (one shared Proc when the store has a shared
 // runtime).
 func (st *Store) Register() *Client {
-	c := &Client{st: st, procs: make([]*flock.Proc, len(st.shards))}
+	c := &Client{
+		st:    st,
+		procs: make([]*flock.Proc, len(st.shards)),
+		ops:   make([]uint64, len(st.shards)),
+	}
 	if st.rt != nil {
 		p := st.rt.Register()
 		for i := range c.procs {
@@ -253,8 +284,14 @@ func (c *Client) SharedProc() *flock.Proc {
 	return c.procs[0]
 }
 
-// Close unregisters the client from every shard.
+// Close unregisters the client from every shard and folds its per-shard
+// op counts into the store's skew totals.
 func (c *Client) Close() {
+	for i, n := range c.ops {
+		if n != 0 {
+			c.st.shardOps[i].Add(n)
+		}
+	}
 	if c.st.rt != nil {
 		c.procs[0].Unregister()
 	} else {
@@ -265,9 +302,17 @@ func (c *Client) Close() {
 	c.st.clients.Add(-1)
 }
 
+// note counts one routed operation against shard i (metrics only).
+func (c *Client) note(i int) {
+	if obs.On() {
+		c.ops[i]++
+	}
+}
+
 // route returns the shard and Proc for k.
 func (c *Client) route(k uint64) (*shard, *flock.Proc) {
 	i := c.st.ShardOf(k)
+	c.note(i)
 	return &c.st.shards[i], c.procs[i]
 }
 
@@ -278,6 +323,7 @@ func (c *Client) route(k uint64) (*shard, *flock.Proc) {
 // MaxOptimistic failed attempts (optimistic.go).
 func (c *Client) Get(k uint64) (uint64, bool) {
 	i := c.st.ShardOf(k)
+	c.note(i)
 	sh, p := &c.st.shards[i], c.procs[i]
 	if c.st.optGet && !p.InThunk() {
 		return c.optimisticGet(sh, p, k)
@@ -378,6 +424,9 @@ func (c *Client) byShard(keys []uint64, visit func(i int, sh *shard, p *flock.Pr
 	n := len(c.st.shards)
 	if n == 1 {
 		sh, p := &c.st.shards[0], c.procs[0]
+		if obs.On() {
+			c.ops[0] += uint64(len(keys))
+		}
 		for i := range keys {
 			visit(i, sh, p)
 		}
@@ -401,8 +450,12 @@ func (c *Client) byShard(keys []uint64, visit func(i int, sh *shard, p *flock.Pr
 		order[next[s]] = i
 		next[s]++
 	}
+	track := obs.On()
 	for _, i := range order {
 		s := shardOf[i]
+		if track {
+			c.ops[s]++
+		}
 		visit(i, &c.st.shards[s], c.procs[s])
 	}
 }

@@ -9,6 +9,7 @@ import (
 	flock "flock/internal/core"
 	"flock/internal/kv"
 	"flock/internal/kv/kvtest"
+	"flock/internal/obs"
 	"flock/internal/structures/hashtable"
 	"flock/internal/structures/lazylist"
 	"flock/internal/structures/leaftree"
@@ -303,4 +304,56 @@ func TestPutBatchLengthMismatchPanics(t *testing.T) {
 		}
 	}()
 	c.PutBatch([]uint64{1, 2}, []uint64{1})
+}
+
+// TestMetricsShardOpsFoldOnClose pins the per-shard op accounting
+// (DESIGN.md S14): client-local counts accrue only while obs is
+// enabled, fold into the store's atomics on Close, and skew toward the
+// shards the keys actually route to.
+func TestMetricsShardOpsFoldOnClose(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	st := kv.New(leaftreeFactory, kv.Options{Shards: 4, KeyRange: 1 << 10})
+	base := st.ShardOps()
+
+	c := st.Register()
+	var want [4]uint64
+	for k := uint64(0); k < 200; k++ {
+		c.Put(k, k)
+		c.Get(k)
+		want[st.ShardOf(k)] += 2
+	}
+	// Counts are client-local until Close: the store must not have
+	// moved yet (the fold is what keeps the hot path contention-free).
+	mid := st.ShardOps()
+	for i := range mid {
+		if mid[i] != base[i] {
+			t.Fatalf("shard %d ops folded before Close: %d -> %d", i, base[i], mid[i])
+		}
+	}
+	c.Close()
+
+	after := st.ShardOps()
+	for i := range after {
+		if got := after[i] - base[i]; got != want[i] {
+			t.Errorf("shard %d ops = %d, want %d", i, got, want[i])
+		}
+	}
+
+	// With obs disabled, a client's ops must not accrue at all.
+	obs.SetEnabled(false)
+	c2 := st.Register()
+	for k := uint64(0); k < 100; k++ {
+		c2.Get(k)
+	}
+	c2.Close()
+	obs.SetEnabled(true)
+	final := st.ShardOps()
+	for i := range final {
+		if final[i] != after[i] {
+			t.Errorf("shard %d ops moved while disabled: %d -> %d", i, after[i], final[i])
+		}
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	flock "flock/internal/core"
+	"flock/internal/obs"
 )
 
 // optimisticGet is Get's unlogged arm: seqlock-validated OptimisticFind
@@ -40,10 +41,15 @@ func (c *Client) optimisticGet(sh *shard, p *flock.Proc, k uint64) (uint64, bool
 				return v, found
 			}
 		}
+		// The store counters are always on (the harness diffs them around
+		// windows); the obs block mirrors them into the gated metrics
+		// layer so snapshots attribute restarts to workers.
 		c.st.optRestarts.Add(1)
+		p.Obs().Inc(obs.OptRestarts)
 	}
 	p.End()
 	c.st.optEscalations.Add(1)
+	p.Obs().Inc(obs.OptEscalations)
 	return c.escalatedGet(sh, p, k)
 }
 
@@ -141,6 +147,7 @@ attempts:
 			if !ok {
 				c.endAll()
 				st.optRestarts.Add(1)
+				c.procs[0].Obs().Inc(obs.OptRestarts)
 				continue attempts
 			}
 			vers[j] = v
@@ -153,6 +160,7 @@ attempts:
 			if !st.shards[s].lck.Validate(vers[j]) {
 				c.endAll()
 				st.optRestarts.Add(1)
+				c.procs[0].Obs().Inc(obs.OptRestarts)
 				continue attempts
 			}
 		}
@@ -160,6 +168,7 @@ attempts:
 		return vals, oks
 	}
 	st.optEscalations.Add(1)
+	c.procs[0].Obs().Inc(obs.OptEscalations)
 	return c.escalatedMultiGet(keys, shardOf, involved, vals, oks)
 }
 

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	flock "flock/internal/core"
+	"flock/internal/obs"
 	"flock/internal/structures/set"
 )
 
@@ -93,6 +94,7 @@ func (c *Client) Scan(lo, hi uint64, limit int) []set.KV {
 			return out
 		}
 		st.optEscalations.Add(1)
+		c.procs[0].Obs().Inc(obs.OptEscalations)
 	}
 	return c.scanLocked(lo, hi, limit)
 }
@@ -110,6 +112,7 @@ func (c *Client) scanOptimistic(lo, hi uint64, limit int) ([]set.KV, bool) {
 			return mergeRuns(parts, limit), true
 		}
 		st.optRestarts.Add(1)
+		c.procs[0].Obs().Inc(obs.OptRestarts)
 	}
 	return nil, false
 }

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// withEnabled runs f with the package flag forced on, restoring the
+// previous setting after.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	f()
+}
+
+// TestBlockCacheLinePadding pins the padding invariant: a Block must be
+// a whole number of 64-byte cache lines so adjacent blocks in any
+// allocation never share a line (the write-local design's whole point).
+func TestBlockCacheLinePadding(t *testing.T) {
+	if s := unsafe.Sizeof(Block{}); s%64 != 0 {
+		t.Fatalf("Block is %d bytes, not a multiple of the 64-byte cache line", s)
+	}
+}
+
+// TestDisabledCountersAreNoOps: with the flag off, Inc and Add must not
+// move the block (call sites rely on this to make the disabled layer
+// free beyond the flag load).
+func TestDisabledCountersAreNoOps(t *testing.T) {
+	if Enabled() {
+		t.Fatal("flag unexpectedly on at test entry")
+	}
+	b := NewBlock()
+	defer b.Release()
+	b.Inc(HelpsGiven)
+	b.Add(StrictSpins, 17)
+	if b.Load(HelpsGiven) != 0 || b.Load(StrictSpins) != 0 {
+		t.Fatalf("disabled counters moved: helps=%d spins=%d",
+			b.Load(HelpsGiven), b.Load(StrictSpins))
+	}
+}
+
+// TestSnapshotSumsLiveAndRetired: Snapshot must include both live
+// blocks and the folded totals of released ones, and Release must fold
+// without losing counts.
+func TestSnapshotSumsLiveAndRetired(t *testing.T) {
+	withEnabled(t, func() {
+		s0 := Snapshot()
+		a, b := NewBlock(), NewBlock()
+		a.Inc(AcquiresLF)
+		a.Add(PoolHits, 4)
+		b.Add(AcquiresLF, 2)
+		if d := Snapshot().Sub(s0); d.Get(AcquiresLF) != 3 || d.Get(PoolHits) != 4 {
+			t.Fatalf("live snapshot delta = %d acquires / %d pool hits, want 3/4",
+				d.Get(AcquiresLF), d.Get(PoolHits))
+		}
+		a.Release() // folds into retired
+		if d := Snapshot().Sub(s0); d.Get(AcquiresLF) != 3 || d.Get(PoolHits) != 4 {
+			t.Fatalf("post-release delta = %d acquires / %d pool hits, want unchanged 3/4",
+				d.Get(AcquiresLF), d.Get(PoolHits))
+		}
+		b.Release()
+		if d := Snapshot().Sub(s0); d.Get(AcquiresLF) != 3 {
+			t.Fatalf("all-released delta = %d acquires, want 3", d.Get(AcquiresLF))
+		}
+	})
+}
+
+// TestConcurrentBlocksAndSnapshots races writers (each on its own
+// block, per the ownership rule), registrations, releases and snapshot
+// readers; the final snapshot delta must equal the total increments.
+// Run under -race in CI.
+func TestConcurrentBlocksAndSnapshots(t *testing.T) {
+	withEnabled(t, func() {
+		const (
+			workers = 8
+			perW    = 5000
+		)
+		s0 := Snapshot()
+		var wgWriters, wgReader sync.WaitGroup
+		stop := make(chan struct{})
+		wgReader.Add(1)
+		go func() { // concurrent wgReader
+			defer wgReader.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = Snapshot()
+				}
+			}
+		}()
+		for w := 0; w < workers; w++ {
+			wgWriters.Add(1)
+			go func() {
+				defer wgWriters.Done()
+				b := NewBlock()
+				for i := 0; i < perW; i++ {
+					b.Inc(InstallCASFails)
+				}
+				b.Release()
+			}()
+		}
+		wgWriters.Wait()
+		close(stop)
+		wgReader.Wait()
+		if d := Snapshot().Sub(s0); d.Get(InstallCASFails) != workers*perW {
+			t.Fatalf("lost counts: delta = %d, want %d", d.Get(InstallCASFails), workers*perW)
+		}
+	})
+}
+
+// TestCountsSubSaturates pins the saturation contract Sub's callers
+// (window deltas racing Release's fold-then-unlink) depend on.
+func TestCountsSubSaturates(t *testing.T) {
+	var a, b Counts
+	a[AcquiresLF], b[AcquiresLF] = 3, 5
+	a[HelpsGiven], b[HelpsGiven] = 7, 2
+	d := a.Sub(b)
+	if d.Get(AcquiresLF) != 0 {
+		t.Errorf("Sub underflowed: %d, want saturated 0", d.Get(AcquiresLF))
+	}
+	if d.Get(HelpsGiven) != 5 {
+		t.Errorf("Sub(7-2) = %d, want 5", d.Get(HelpsGiven))
+	}
+	if s := a.Add(b); s.Get(AcquiresLF) != 8 || s.Get(HelpsGiven) != 9 {
+		t.Errorf("Add = %d/%d, want 8/9", s.Get(AcquiresLF), s.Get(HelpsGiven))
+	}
+}
+
+// TestDepthCounterBuckets pins the histogram bucketing.
+func TestDepthCounterBuckets(t *testing.T) {
+	cases := map[int]Counter{
+		0: TxnDepth1, 1: TxnDepth1, 2: TxnDepth2, 3: TxnDepth3,
+		4: TxnDepth4, 5: TxnDepth5to8, 8: TxnDepth5to8,
+		9: TxnDepth9Plus, 100: TxnDepth9Plus,
+	}
+	for depth, want := range cases {
+		if got := DepthCounter(depth); got != want {
+			t.Errorf("DepthCounter(%d) = %v, want %v", depth, got, want)
+		}
+	}
+}
+
+// TestCounterNamesComplete: every counter has a distinct snake_case
+// name (the JSONL/CSV field identity).
+func TestCounterNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < NumCounters; c++ {
+		n := c.String()
+		if n == "" || n == "unknown" {
+			t.Errorf("counter %d has no name", c)
+		}
+		if seen[n] {
+			t.Errorf("duplicate counter name %q", n)
+		}
+		seen[n] = true
+	}
+	if Counter(-1).String() != "unknown" || NumCounters.String() != "unknown" {
+		t.Error("out-of-range counters must stringify as unknown")
+	}
+}

@@ -56,6 +56,7 @@ import (
 
 	flock "flock/internal/core"
 	"flock/internal/kv"
+	"flock/internal/obs"
 	"flock/internal/workload"
 )
 
@@ -258,12 +259,38 @@ func (c *Client) backoff(attempt int) {
 // chain is acquired once. body must publish its results idempotently
 // (per-attempt atomics): acquisition success means body's effects are
 // durably logged, even if the physical completion was a helper's.
+//
+// With obs metrics enabled it also records the committed transaction's
+// nested-acquire depth (distinct shard locks — len(shards), since the
+// chain nests one TryLock per shard) and whether any run of the
+// committed attempt executed on a foreign Proc, i.e. a helper carried
+// part or all of the transaction (obs.TxnHelped). The foreign flag is a
+// per-attempt atomic the wrapped body sets idempotently, so helper
+// replays keep the thunk-determinism rules.
 func (c *Client) atomically(shards []int, mkBody func() func(hp *flock.Proc)) {
+	track := obs.On()
 	for attempt := 0; ; attempt++ {
 		// A fresh body per attempt: a straggler replaying a *failed*
 		// published attempt must find that attempt's buffers, not the
 		// next one's (DESIGN.md S11).
-		if c.acquireSorted(shards, mkBody()) {
+		body := mkBody()
+		if track {
+			foreign := &atomic.Bool{}
+			inner := body
+			body = func(hp *flock.Proc) {
+				if hp != c.p {
+					foreign.Store(true)
+				}
+				inner(hp)
+			}
+			if c.acquireSorted(shards, body) {
+				c.p.Obs().Inc(obs.DepthCounter(len(shards)))
+				if foreign.Load() {
+					c.p.Obs().Inc(obs.TxnHelped)
+				}
+				return
+			}
+		} else if c.acquireSorted(shards, body) {
 			return
 		}
 		c.backoff(attempt)

@@ -7,6 +7,7 @@ import (
 	flock "flock/internal/core"
 	"flock/internal/harness"
 	"flock/internal/kv"
+	"flock/internal/obs"
 	"flock/internal/structures/abtree"
 	"flock/internal/structures/arttree"
 	"flock/internal/structures/couplist"
@@ -194,5 +195,53 @@ func TestSharedRuntimeRequired(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if txn.LockFree.String() != "lockfree" || txn.Blocking.String() != "blocking" || txn.NonAtomic.String() != "nonatomic" {
 		t.Fatalf("mode names: %v %v %v", txn.LockFree, txn.Blocking, txn.NonAtomic)
+	}
+}
+
+// TestMetricsTxnDepthAndHelping pins the transactional obs wiring
+// (DESIGN.md S14): every committed transaction lands in exactly one
+// depth-histogram bucket keyed by its distinct-shard count, and the
+// bucket totals equal the commit count.
+func TestMetricsTxnDepthAndHelping(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	st := txn.New(leaftreeFactory, txn.Options{Shards: 8, KeyRange: 1 << 10})
+	c := st.Register()
+	defer c.Close()
+	s0 := obs.Snapshot()
+
+	// Single-key writes: depth exactly 1.
+	const singles = 50
+	for k := uint64(0); k < singles; k++ {
+		c.MultiPut([]uint64{k}, []uint64{k})
+	}
+	// Transfers: 2 keys on 1 or 2 distinct shards.
+	const pairs = 30
+	for k := uint64(0); k < pairs; k++ {
+		c.MultiPut([]uint64{2 * k, 2*k + 1}, []uint64{7, 7})
+	}
+	d := obs.Snapshot().Sub(s0)
+	var total uint64
+	for _, b := range []obs.Counter{
+		obs.TxnDepth1, obs.TxnDepth2, obs.TxnDepth3, obs.TxnDepth4,
+		obs.TxnDepth5to8, obs.TxnDepth9Plus,
+	} {
+		total += d.Get(b)
+	}
+	if total != singles+pairs {
+		t.Errorf("depth histogram sums to %d, want %d committed transactions", total, singles+pairs)
+	}
+	if d.Get(obs.TxnDepth1) < singles {
+		t.Errorf("TxnDepth1 = %d, want >= %d (every single-key txn)", d.Get(obs.TxnDepth1), singles)
+	}
+	if d.Get(obs.TxnDepth3) != 0 || d.Get(obs.TxnDepth9Plus) != 0 {
+		t.Errorf("2-key transactions filled depth>=3 buckets: d3=%d d9+=%d",
+			d.Get(obs.TxnDepth3), d.Get(obs.TxnDepth9Plus))
+	}
+	// Uncontended single client: nothing should have been helped.
+	if h := d.Get(obs.TxnHelped); h != 0 {
+		t.Errorf("TxnHelped = %d on an uncontended client, want 0", h)
 	}
 }
