@@ -23,6 +23,14 @@
 //     box behind an atomic pointer, so a reader never sees a torn pair.
 //     Node48 publishes the child before the index (and retracts the
 //     index before the child); Node256 indexes children directly.
+//   - Node4/Node16 additionally maintain a packed 16-byte key image
+//     (two atomic words) + occupancy mask that readers probe with one
+//     vector compare (internal/simd) to find candidate lanes; the slot
+//     load confirming a candidate remains the linearization point.
+//     Writers, serialized by the node's version lock, publish a lane's
+//     packed byte before its slot on insert and clear the slot before
+//     the lane on remove, so a packed miss is authoritative for
+//     absence (same protocol as the flock arttree; DESIGN.md S15).
 //   - Prefixes and leaves are immutable. Any change of prefix or node
 //     kind (grow, shrink, path-compression merge, prefix split) builds
 //     a replacement node under the locks of the parent and the node,
@@ -40,10 +48,12 @@ package olcart
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync/atomic"
 
 	flock "flock/internal/core"
+	"flock/internal/simd"
 )
 
 // Node kinds.
@@ -68,6 +78,21 @@ func capOf(kind uint8) int {
 	}
 }
 
+func kindName(kind uint8) string {
+	switch kind {
+	case kLeaf:
+		return "leaf"
+	case k4:
+		return "node4"
+	case k16:
+		return "node16"
+	case k48:
+		return "node48"
+	default:
+		return "node256"
+	}
+}
+
 // slot is the immutable (key byte, child) box used by Node4/Node16.
 type slot struct {
 	b byte
@@ -88,6 +113,44 @@ type node struct {
 	idx      []atomic.Int32         // k48: byte -> child index+1 (0 = empty)
 	children []atomic.Pointer[node] // k48 (48), k256 (256)
 	count    atomic.Int32           // inner: number of children
+
+	// k4/k16 packed key image: lane i's key byte at byte i of the
+	// little-endian pkLo/pkHi pair, occupancy bit i in pkOcc (uint16
+	// range). Written only under the node's version (write) lock, read
+	// by optimistic readers; lanes with a clear occupancy bit may hold
+	// stale bytes.
+	pkLo, pkHi atomic.Uint64
+	pkOcc      atomic.Uint32
+}
+
+// pkLoad snapshots the packed image in the array form simd.Match16
+// takes. The three loads are not mutually atomic, but the per-lane
+// invariant (a live slot's byte and bit are published before the slot
+// and retracted after it) makes candidate misses and hits sound; the
+// confirming slot load is the linearization point either way.
+func (n *node) pkLoad() (keys [16]byte, occ uint16) {
+	binary.LittleEndian.PutUint64(keys[0:8], n.pkLo.Load())
+	binary.LittleEndian.PutUint64(keys[8:16], n.pkHi.Load())
+	return keys, uint16(n.pkOcc.Load())
+}
+
+// pkSet publishes lane i's key byte and occupancy bit. Caller holds
+// the write lock and stores the slot only after pkSet returns.
+func (n *node) pkSet(i int, b byte) {
+	w := &n.pkLo
+	if i >= 8 {
+		w = &n.pkHi
+	}
+	sh := uint(i&7) * 8
+	w.Store(w.Load()&^(uint64(0xff)<<sh) | uint64(b)<<sh)
+	n.pkOcc.Store(n.pkOcc.Load() | 1<<uint(i))
+}
+
+// pkClear retracts lane i (the stale byte stays; the cleared bit is
+// what excludes it). Caller holds the write lock and has already
+// cleared the slot.
+func (n *node) pkClear(i int) {
+	n.pkOcc.Store(n.pkOcc.Load() &^ (1 << uint(i)))
 }
 
 func (n *node) isLeaf() bool { return n.kind == kLeaf }
@@ -130,8 +193,14 @@ func newInner(kind uint8, prefix []byte) *node {
 func (n *node) getChild(b byte) *node {
 	switch n.kind {
 	case k4, k16:
-		for i := range n.slots {
-			if sv := n.slots[i].Load(); sv != nil && sv.b == b {
+		// One vector compare over the packed key image yields the
+		// candidate lanes; the authoritative slot load confirms. A
+		// packed miss is authoritative for absence (see pkSet/pkClear
+		// ordering); optimistic callers additionally validate the
+		// node's version afterwards, as before.
+		keys, occ := n.pkLoad()
+		for m := simd.Match16(&keys, b) & occ; m != 0; m &= m - 1 {
+			if sv := n.slots[bits.TrailingZeros16(m)].Load(); sv != nil && sv.b == b {
 				return sv.c
 			}
 		}
@@ -152,13 +221,14 @@ func (n *node) getChild(b byte) *node {
 func (n *node) addChild(b byte, c *node) {
 	switch n.kind {
 	case k4, k16:
-		for i := range n.slots {
-			if n.slots[i].Load() == nil {
-				n.slots[i].Store(&slot{b: b, c: c})
-				return
-			}
+		occ := uint16(n.pkOcc.Load())
+		free := ^occ & uint16(1<<len(n.slots)-1)
+		if free == 0 {
+			panic("olcart: addChild on full " + kindName(n.kind))
 		}
-		panic("olcart: addChild on full node")
+		i := bits.TrailingZeros16(free)
+		n.pkSet(i, b)                       // publish the packed byte first …
+		n.slots[i].Store(&slot{b: b, c: c}) // … then the authoritative slot
 	case k48:
 		for i := range n.children {
 			if n.children[i].Load() == nil {
@@ -167,7 +237,7 @@ func (n *node) addChild(b byte, c *node) {
 				return
 			}
 		}
-		panic("olcart: addChild on full node48")
+		panic("olcart: addChild on full " + kindName(n.kind))
 	default:
 		n.children[b].Store(c)
 	}
@@ -178,13 +248,17 @@ func (n *node) addChild(b byte, c *node) {
 func (n *node) replaceChild(b byte, c *node) {
 	switch n.kind {
 	case k4, k16:
-		for i := range n.slots {
+		// Slot-only update: the key byte is unchanged, so the packed
+		// image needs no maintenance.
+		keys, occ := n.pkLoad()
+		for m := simd.Match16(&keys, b) & occ; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros16(m)
 			if sv := n.slots[i].Load(); sv != nil && sv.b == b {
 				n.slots[i].Store(&slot{b: b, c: c})
 				return
 			}
 		}
-		panic("olcart: replaceChild missing byte")
+		panic("olcart: replaceChild missing byte in " + kindName(n.kind))
 	case k48:
 		n.children[n.idx[b].Load()-1].Store(c)
 	default:
@@ -196,9 +270,12 @@ func (n *node) replaceChild(b byte, c *node) {
 func (n *node) removeChild(b byte) {
 	switch n.kind {
 	case k4, k16:
-		for i := range n.slots {
+		keys, occ := n.pkLoad()
+		for m := simd.Match16(&keys, b) & occ; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros16(m)
 			if sv := n.slots[i].Load(); sv != nil && sv.b == b {
-				n.slots[i].Store(nil)
+				n.slots[i].Store(nil) // clear the slot first …
+				n.pkClear(i)          // … then retract the packed lane
 				return
 			}
 		}
@@ -273,9 +350,21 @@ func buildInner(prefix []byte, pairs []pair) *node {
 	n := newInner(kind, prefix)
 	switch kind {
 	case k4, k16:
+		var lo, hi uint64
+		var occ uint32
 		for i := range pairs {
 			n.slots[i].Store(&slot{b: pairs[i].b, c: pairs[i].c})
+			sh := uint(i&7) * 8
+			if i < 8 {
+				lo |= uint64(pairs[i].b) << sh
+			} else {
+				hi |= uint64(pairs[i].b) << sh
+			}
+			occ |= 1 << uint(i)
 		}
+		n.pkLo.Store(lo)
+		n.pkHi.Store(hi)
+		n.pkOcc.Store(occ)
 	case k48:
 		for i := range pairs {
 			n.children[i].Store(pairs[i].c)
@@ -311,18 +400,10 @@ func keyBytes(k uint64) [8]byte {
 	return b
 }
 
-func commonLen(a, b []byte) int {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		if a[i] != b[i] {
-			return i
-		}
-	}
-	return n
-}
+// commonLen is the length of the longest common prefix of a and b —
+// every descent mismatch check and prefix-split computation routes
+// through the simd package's Mismatch (vectorized on amd64).
+func commonLen(a, b []byte) int { return simd.Mismatch(a, b) }
 
 // Find reports the value stored under key. Restart-bounded: after
 // maxOptimistic failed optimistic descents it completes pessimistically.
@@ -469,7 +550,14 @@ func (t *Tree) insertOpt(kb *[8]byte, key, val uint64) (inserted, ok bool) {
 				if !n.ver.upgradeOr(vn, &par.ver) {
 					return false, false
 				}
-				grown := buildInner(n.prefix, append(n.collect(), pair{b, newLeaf(key, val)}))
+				// The count said full; assert the occupancy agrees
+				// before rebuilding wider.
+				kids := n.collect()
+				if len(kids) != capOf(n.kind) {
+					panic(fmt.Sprintf("olcart: growing %s with %d/%d children",
+						kindName(n.kind), len(kids), capOf(n.kind)))
+				}
+				grown := buildInner(n.prefix, append(kids, pair{b, newLeaf(key, val)}))
 				par.replaceChild(parB, grown)
 				n.retire()
 				par.ver.unlock()
@@ -702,6 +790,29 @@ func (t *Tree) CheckInvariants(_ *flock.Proc) error {
 		}
 		if len(pairs) > capOf(n.kind) {
 			return fmt.Errorf("olcart: occupancy %d over capacity %d", len(pairs), capOf(n.kind))
+		}
+		if n.kind == k4 || n.kind == k16 {
+			// Quiesced, the packed key image must mirror the slots
+			// exactly: matching bytes on live lanes, occ == occupancy.
+			keys, pkOcc := n.pkLoad()
+			var occ uint16
+			for i := range n.slots {
+				sv := n.slots[i].Load()
+				if sv == nil {
+					continue
+				}
+				occ |= 1 << i
+				if pkOcc&(1<<i) == 0 {
+					return fmt.Errorf("olcart: %s lane %d live but packed bit clear", kindName(n.kind), i)
+				}
+				if keys[i] != sv.b {
+					return fmt.Errorf("olcart: %s lane %d packed byte %#x != slot byte %#x",
+						kindName(n.kind), i, keys[i], sv.b)
+				}
+			}
+			if pkOcc != occ {
+				return fmt.Errorf("olcart: %s packed occ %#x != slot occupancy %#x", kindName(n.kind), pkOcc, occ)
+			}
 		}
 		if n.dead.Load() {
 			return fmt.Errorf("olcart: reachable dead node")

@@ -177,3 +177,30 @@ func TestConcurrentDeleteStorm(t *testing.T) {
 		t.Fatalf("post-storm insert failed")
 	}
 }
+
+// TestFindZeroAlloc pins the vectorized read path's allocation budget:
+// Find on a tree whose root is a full Node16 (the packed-key getChild
+// path) must not allocate — the stack copy of the packed key image
+// handed to simd.Match16 must not escape.
+func TestFindZeroAlloc(t *testing.T) {
+	tr := New()
+	var p *flock.Proc
+	for b := uint64(0); b < 16; b++ {
+		for j := uint64(1); j <= 4; j++ {
+			if !tr.Insert(p, b<<56|j, j) {
+				t.Fatalf("prefill insert failed")
+			}
+		}
+	}
+	var sink uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		v, ok := tr.Find(p, 9<<56|2)
+		if !ok {
+			t.Fatal("key missing")
+		}
+		sink += v
+	}); n != 0 {
+		t.Errorf("Find: %v allocs/op, want 0", n)
+	}
+	_ = sink
+}

@@ -1,0 +1,43 @@
+//go:build amd64 && !flock_noasm
+
+#include "textflag.h"
+
+// Node16 key search, SSE2. The search byte is broadcast to all 16
+// lanes of an XMM register (PUNPCKLBW/PUNPCKLWL/PSHUFL — no SSSE3
+// PSHUFB needed), compared against the packed key image in one
+// PCMPEQB, and the equality mask extracted with PMOVMSKB.
+
+// func match16Asm(keys *[16]byte, b byte) uint16
+TEXT ·match16Asm(SB), NOSPLIT, $0-18
+	MOVQ    keys+0(FP), AX
+	MOVBLZX b+8(FP), CX
+	MOVD    CX, X0
+	PUNPCKLBW X0, X0        // b in bytes 0..1
+	PUNPCKLWL X0, X0        // b in bytes 0..3
+	PSHUFL  $0, X0, X0      // b in all 16 bytes
+	MOVOU   (AX), X1
+	PCMPEQB X1, X0
+	PMOVMSKB X0, BX
+	MOVW    BX, ret+16(FP)
+	RET
+
+// func find16Asm(keys *[16]byte, b byte, valid uint16) int32
+TEXT ·find16Asm(SB), NOSPLIT, $0-20
+	MOVQ    keys+0(FP), AX
+	MOVBLZX b+8(FP), CX
+	MOVWLZX valid+10(FP), DX
+	MOVD    CX, X0
+	PUNPCKLBW X0, X0
+	PUNPCKLWL X0, X0
+	PSHUFL  $0, X0, X0
+	MOVOU   (AX), X1
+	PCMPEQB X1, X0
+	PMOVMSKB X0, BX
+	ANDL    DX, BX
+	JEQ     miss
+	BSFL    BX, BX
+	MOVL    BX, ret+16(FP)
+	RET
+miss:
+	MOVL    $-1, ret+16(FP)
+	RET

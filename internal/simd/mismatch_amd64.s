@@ -1,0 +1,140 @@
+//go:build amd64 && !flock_noasm
+
+#include "textflag.h"
+
+// Byte-slice mismatch scans. Both functions take raw base pointers and
+// the already-computed min length n (the Go wrapper owns the slice
+// header handling) and return the index of the first differing byte,
+// or n. Equal bytes compare to 0xFF under PCMPEQB/VPCMPEQB, so a
+// block matches iff its move-mask is all-ones; on the first block that
+// is not, the inverted mask's lowest set bit is the mismatch offset.
+
+// func mismatchSSE2(a, b *byte, n int) int
+TEXT ·mismatchSSE2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX             // AX = index i
+loop16:
+	LEAQ 16(AX), DX
+	CMPQ DX, CX
+	JA   tail8              // fewer than 16 bytes left
+	MOVOU (SI)(AX*1), X0
+	MOVOU (DI)(AX*1), X1
+	PCMPEQB X1, X0
+	PMOVMSKB X0, BX
+	CMPL BX, $0xFFFF
+	JNE  found16
+	MOVQ DX, AX
+	JMP  loop16
+found16:
+	NOTL BX
+	ANDL $0xFFFF, BX
+	BSFL BX, BX
+	ADDQ BX, AX
+	MOVQ AX, ret+24(FP)
+	RET
+tail8:
+	LEAQ 8(AX), DX
+	CMPQ DX, CX
+	JA   tail1
+	MOVQ (SI)(AX*1), R8
+	MOVQ (DI)(AX*1), R9
+	XORQ R9, R8
+	JNE  found8
+	MOVQ DX, AX
+	JMP  tail8
+found8:
+	BSFQ R8, R8
+	SHRQ $3, R8             // bit index -> byte index (loads are LE)
+	ADDQ R8, AX
+	MOVQ AX, ret+24(FP)
+	RET
+tail1:
+	CMPQ AX, CX
+	JAE  done
+	MOVBLZX (SI)(AX*1), R8
+	MOVBLZX (DI)(AX*1), R9
+	CMPL R8, R9
+	JNE  done
+	INCQ AX
+	JMP  tail1
+done:
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func mismatchAVX2(a, b *byte, n int) int
+// Caller guarantees n >= 64 and AVX2 support.
+TEXT ·mismatchAVX2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+loop32:
+	LEAQ 32(AX), DX
+	CMPQ DX, CX
+	JA   vdone
+	VMOVDQU (SI)(AX*1), Y0
+	VMOVDQU (DI)(AX*1), Y1
+	VPCMPEQB Y1, Y0, Y0
+	VPMOVMSKB Y0, BX
+	CMPL BX, $-1            // all 32 lanes equal?
+	JNE  found32
+	MOVQ DX, AX
+	JMP  loop32
+found32:
+	NOTL BX
+	BSFL BX, BX
+	ADDQ BX, AX
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+vdone:
+	VZEROUPPER
+vtail8:
+	LEAQ 8(AX), DX
+	CMPQ DX, CX
+	JA   vtail1
+	MOVQ (SI)(AX*1), R8
+	MOVQ (DI)(AX*1), R9
+	XORQ R9, R8
+	JNE  vfound8
+	MOVQ DX, AX
+	JMP  vtail8
+vfound8:
+	BSFQ R8, R8
+	SHRQ $3, R8
+	ADDQ R8, AX
+	MOVQ AX, ret+24(FP)
+	RET
+vtail1:
+	CMPQ AX, CX
+	JAE  vret
+	MOVBLZX (SI)(AX*1), R8
+	MOVBLZX (DI)(AX*1), R9
+	CMPL R8, R9
+	JNE  vret
+	INCQ AX
+	JMP  vtail1
+vret:
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

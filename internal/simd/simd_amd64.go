@@ -1,0 +1,81 @@
+//go:build amd64 && !flock_noasm
+
+package simd
+
+// HasAsm reports whether this build uses the assembly implementations.
+const HasAsm = true
+
+// hasAVX2 gates the 32-byte Mismatch loop: it needs the CPU to
+// advertise AVX2 and the OS to save the YMM state (OSXSAVE + XCR0).
+var hasAVX2 = detectAVX2()
+
+// Variant names the active implementation, for benchmark and
+// experiment logs.
+func Variant() string {
+	if hasAVX2 {
+		return "sse2+avx2"
+	}
+	return "sse2"
+}
+
+//go:noescape
+func match16Asm(keys *[16]byte, b byte) uint16
+
+//go:noescape
+func find16Asm(keys *[16]byte, b byte, valid uint16) int32
+
+//go:noescape
+func mismatchSSE2(a, b *byte, n int) int
+
+//go:noescape
+func mismatchAVX2(a, b *byte, n int) int
+
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv() (eax, edx uint32)
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if c1&osxsave == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 { // XMM and YMM state enabled
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// Find16 returns the first lane i with keys[i] == b and valid bit i
+// set, or -1. One 16-byte vector compare.
+func Find16(keys *[16]byte, b byte, valid uint16) int {
+	return int(find16Asm(keys, b, valid))
+}
+
+// Match16 returns the 16-bit equality mask of keys against b.
+func Match16(keys *[16]byte, b byte) uint16 {
+	return match16Asm(keys, b)
+}
+
+// Mismatch returns the length of the longest common prefix of a and b.
+// Short inputs (under one vector width — every in-node prefix compare
+// in this repository, since keys are 8 bytes) stay on the inlinable
+// word-compare path: the call overhead of non-inlinable assembly costs
+// more than the vector saves there. Long inputs take the SSE2 loop,
+// and the AVX2 loop from 64 bytes when the host supports it.
+func Mismatch(a, b []byte) int {
+	n := min(len(a), len(b))
+	if n < 16 {
+		return MismatchGeneric(a, b)
+	}
+	if hasAVX2 && n >= 64 {
+		return mismatchAVX2(&a[0], &b[0], n)
+	}
+	return mismatchSSE2(&a[0], &b[0], n)
+}

@@ -1,0 +1,26 @@
+//go:build !amd64 || flock_noasm
+
+package simd
+
+// HasAsm reports whether this build uses the assembly implementations.
+const HasAsm = false
+
+// Variant names the active implementation, for benchmark and
+// experiment logs.
+func Variant() string { return "generic" }
+
+// Find16 returns the first lane i with keys[i] == b and valid bit i
+// set, or -1.
+func Find16(keys *[16]byte, b byte, valid uint16) int {
+	return Find16Generic(keys, b, valid)
+}
+
+// Match16 returns the 16-bit equality mask of keys against b.
+func Match16(keys *[16]byte, b byte) uint16 {
+	return Match16Generic(keys, b)
+}
+
+// Mismatch returns the length of the longest common prefix of a and b.
+func Mismatch(a, b []byte) int {
+	return MismatchGeneric(a, b)
+}

@@ -10,6 +10,14 @@
 //     uses an indirection array where index 0 means empty (zero-value
 //     friendly) and the child is published before the index. Node256
 //     indexes children directly.
+//   - Node4/Node16 additionally maintain a packed 16-byte key image +
+//     occupancy mask (one Mutable box, so it is updated atomically and
+//     idempotently under helping) that readers probe with one vector
+//     compare (internal/simd) to find candidate lanes; the slot load
+//     that confirms a candidate remains the linearization point. The
+//     publication protocol (packed byte before slot on insert, slot
+//     before packed byte on remove) makes a packed miss authoritative
+//     for absence: see DESIGN.md S15.
 //   - Prefixes and leaf contents are immutable: any change of prefix
 //     (path compression on delete, prefix split on insert) or node kind
 //     (grow/shrink) builds a replacement node under the locks of the
@@ -23,8 +31,10 @@ package arttree
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	flock "flock/internal/core"
+	"flock/internal/simd"
 )
 
 // Node kinds.
@@ -49,6 +59,60 @@ func capOf(kind uint8) int {
 	}
 }
 
+func kindName(kind uint8) string {
+	switch kind {
+	case kLeaf:
+		return "leaf"
+	case k4:
+		return "node4"
+	case k16:
+		return "node16"
+	case k48:
+		return "node48"
+	default:
+		return "node256"
+	}
+}
+
+// packed16 is the vector-searchable image of a Node4/Node16: lane i of
+// the 16-byte key array holds slots[i]'s key byte, and bit i of occ
+// says the lane is live. It lives in a single Mutable box so updates
+// go through the logged CAS machinery — helpers replaying a thunk
+// cannot tear it or clobber it with stale halves — and a reader's one
+// Load yields a mutually consistent (keys, occ) snapshot. Lanes with a
+// clear occ bit may hold stale bytes; masking keeps them out.
+type packed16 struct {
+	lo, hi uint64 // key bytes, lane i at byte i of the little-endian image
+	occ    uint16 // lane-occupancy bitmask
+}
+
+// keyArray splits the two words into the array form simd.Match16 takes.
+func (pk packed16) keyArray() [16]byte {
+	var a [16]byte
+	binary.LittleEndian.PutUint64(a[0:8], pk.lo)
+	binary.LittleEndian.PutUint64(a[8:16], pk.hi)
+	return a
+}
+
+// with returns pk with lane i holding key byte b and marked live.
+func (pk packed16) with(i int, b byte) packed16 {
+	sh := uint(i&7) * 8
+	if i < 8 {
+		pk.lo = pk.lo&^(uint64(0xff)<<sh) | uint64(b)<<sh
+	} else {
+		pk.hi = pk.hi&^(uint64(0xff)<<sh) | uint64(b)<<sh
+	}
+	pk.occ |= 1 << uint(i)
+	return pk
+}
+
+// without returns pk with lane i retracted (the stale byte stays; the
+// cleared occ bit is what excludes it from searches).
+func (pk packed16) without(i int) packed16 {
+	pk.occ &^= 1 << uint(i)
+	return pk
+}
+
 // slotPair is the atomic (key byte, child) unit for Node4/Node16.
 type slotPair struct {
 	b     byte
@@ -63,6 +127,7 @@ type artNode struct {
 	prefix []byte // inner: compressed path bytes
 
 	slots    []flock.Mutable[slotPair] // k4, k16
+	pk       flock.Mutable[packed16]   // k4, k16: packed key image over slots
 	idx      []flock.Mutable[uint8]    // k48: byte -> child index+1 (0 = empty)
 	children []flock.Mutable[*artNode] // k48 (48), k256 (256)
 
@@ -93,18 +158,10 @@ func keyBytes(k uint64) [8]byte {
 	return b
 }
 
-func commonLen(a, b []byte) int {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		if a[i] != b[i] {
-			return i
-		}
-	}
-	return n
-}
+// commonLen is the length of the longest common prefix of a and b —
+// every descent mismatch check and prefix-split computation routes
+// through the simd package's Mismatch (vectorized on amd64).
+func commonLen(a, b []byte) int { return simd.Mismatch(a, b) }
 
 func newLeaf(k, v uint64) *artNode { return &artNode{kind: kLeaf, k: k, v: v} }
 
@@ -127,8 +184,15 @@ func newInner(kind uint8, prefix []byte) *artNode {
 func (n *artNode) getChild(p *flock.Proc, b byte) *artNode {
 	switch n.kind {
 	case k4, k16:
-		for i := range n.slots {
-			sv := n.slots[i].Load(p)
+		// One packed load + one vector compare yields the candidate
+		// lanes; each candidate is confirmed by its authoritative slot
+		// load (stale packed lanes fail the confirm). A packed miss is
+		// authoritative for absence: a live slot's lane is always in
+		// the mask (publication protocol, DESIGN.md S15).
+		pk := n.pk.Load(p)
+		keys := pk.keyArray()
+		for m := simd.Match16(&keys, b) & pk.occ; m != 0; m &= m - 1 {
+			sv := n.slots[bits.TrailingZeros16(m)].Load(p)
 			if sv.child != nil && sv.b == b {
 				return sv.child
 			}
@@ -150,13 +214,14 @@ func (n *artNode) getChild(p *flock.Proc, b byte) *artNode {
 func (n *artNode) setChild(hp *flock.Proc, b byte, c *artNode) {
 	switch n.kind {
 	case k4, k16:
-		for i := range n.slots {
-			if n.slots[i].Load(hp).child == nil {
-				n.slots[i].Store(hp, slotPair{b: b, child: c})
-				return
-			}
+		pk := n.pk.Load(hp)
+		free := ^pk.occ & uint16(1<<len(n.slots)-1)
+		if free == 0 {
+			panic("arttree: setChild on full " + kindName(n.kind))
 		}
-		panic("arttree: setChild on full node")
+		i := bits.TrailingZeros16(free)
+		n.pk.Store(hp, pk.with(i, b))                  // publish the packed byte first …
+		n.slots[i].Store(hp, slotPair{b: b, child: c}) // … then the authoritative slot
 	case k48:
 		for i := range n.children {
 			if n.children[i].Load(hp) == nil {
@@ -165,7 +230,7 @@ func (n *artNode) setChild(hp *flock.Proc, b byte, c *artNode) {
 				return
 			}
 		}
-		panic("arttree: setChild on full node48")
+		panic("arttree: setChild on full " + kindName(n.kind))
 	default:
 		n.children[b].Store(hp, c)
 	}
@@ -176,14 +241,19 @@ func (n *artNode) setChild(hp *flock.Proc, b byte, c *artNode) {
 func (n *artNode) replaceChild(hp *flock.Proc, b byte, c *artNode) {
 	switch n.kind {
 	case k4, k16:
-		for i := range n.slots {
+		// Slot-only update: the key byte is unchanged, so the packed
+		// image needs no maintenance.
+		pk := n.pk.Load(hp)
+		keys := pk.keyArray()
+		for m := simd.Match16(&keys, b) & pk.occ; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros16(m)
 			sv := n.slots[i].Load(hp)
 			if sv.child != nil && sv.b == b {
 				n.slots[i].Store(hp, slotPair{b: b, child: c})
 				return
 			}
 		}
-		panic("arttree: replaceChild missing byte")
+		panic("arttree: replaceChild missing byte in " + kindName(n.kind))
 	case k48:
 		i := n.idx[b].Load(hp)
 		n.children[i-1].Store(hp, c)
@@ -196,10 +266,14 @@ func (n *artNode) replaceChild(hp *flock.Proc, b byte, c *artNode) {
 func (n *artNode) removeChild(hp *flock.Proc, b byte) {
 	switch n.kind {
 	case k4, k16:
-		for i := range n.slots {
+		pk := n.pk.Load(hp)
+		keys := pk.keyArray()
+		for m := simd.Match16(&keys, b) & pk.occ; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros16(m)
 			sv := n.slots[i].Load(hp)
 			if sv.child != nil && sv.b == b {
-				n.slots[i].Store(hp, slotPair{})
+				n.slots[i].Store(hp, slotPair{}) // clear the slot first …
+				n.pk.Store(hp, pk.without(i))    // … then retract the packed lane
 				return
 			}
 		}
@@ -272,9 +346,12 @@ func buildInner(hp *flock.Proc, prefix []byte, pairs []pair) *artNode {
 		n := newInner(kind, prefix)
 		switch kind {
 		case k4, k16:
+			var pk packed16
 			for i, pr := range pairs {
 				n.slots[i].Init(slotPair{b: pr.b, child: pr.c})
+				pk = pk.with(i, pr.b)
 			}
+			n.pk.Init(pk)
 		case k48:
 			for i, pr := range pairs {
 				n.children[i].Init(pr.c)
@@ -432,8 +509,14 @@ func (t *Tree) Insert(p *flock.Proc, k, v uint64) bool {
 						n.count.Store(hp2, cnt+1)
 						return true
 					}
-					// Grow to the next kind.
-					pairs := append(n.collectChildren(hp2), pair{b, nl})
+					// Grow to the next kind. The count said full; assert
+					// the occupancy agrees before rebuilding wider.
+					pairs := n.collectChildren(hp2)
+					if len(pairs) != capOf(n.kind) {
+						panic(fmt.Sprintf("arttree: growing %s with %d/%d children",
+							kindName(n.kind), len(pairs), capOf(n.kind)))
+					}
+					pairs = append(pairs, pair{b, nl})
 					grown := buildInner(hp2, n.prefix, pairs)
 					n.removed.Store(hp2, true)
 					store(hp2, grown)
@@ -628,6 +711,30 @@ func (t *Tree) CheckInvariants(p *flock.Proc) error {
 		}
 		if len(pairs) > capOf(n.kind) {
 			return fmt.Errorf("arttree: occupancy %d over capacity %d", len(pairs), capOf(n.kind))
+		}
+		if n.kind == k4 || n.kind == k16 {
+			// Quiesced, the packed key image must mirror the slots
+			// exactly: matching bytes on live lanes, occ == occupancy.
+			pk := n.pk.Load(p)
+			keys := pk.keyArray()
+			var occ uint16
+			for i := range n.slots {
+				sv := n.slots[i].Load(p)
+				if sv.child == nil {
+					continue
+				}
+				occ |= 1 << i
+				if pk.occ&(1<<i) == 0 {
+					return fmt.Errorf("arttree: %s lane %d live but packed bit clear", kindName(n.kind), i)
+				}
+				if keys[i] != sv.b {
+					return fmt.Errorf("arttree: %s lane %d packed byte %#x != slot byte %#x",
+						kindName(n.kind), i, keys[i], sv.b)
+				}
+			}
+			if pk.occ != occ {
+				return fmt.Errorf("arttree: %s packed occ %#x != slot occupancy %#x", kindName(n.kind), pk.occ, occ)
+			}
 		}
 		for _, pr := range pairs {
 			if err := walk(pr.c, append(acc, pr.b)); err != nil {

@@ -65,6 +65,7 @@ func Run(t *testing.T, f Factory) {
 			t.Run("DisjointPartitions", func(t *testing.T) { disjointPartitions(t, f, m.Blocking) })
 			t.Run("ContendedStress", func(t *testing.T) { contendedStress(t, f, m.Blocking) })
 			t.Run("Oversubscribed", func(t *testing.T) { oversubscribed(t, f, m.Blocking) })
+			t.Run("NodeGrowthSweep", func(t *testing.T) { nodeGrowth(t, f, m.Blocking) })
 			t.Run("Linearizable", func(t *testing.T) { linearizable(t, f, m.Blocking, 0) })
 			if !m.Blocking {
 				// Descheduling injection exercises helping on every
@@ -1037,6 +1038,126 @@ func optimisticLinearizable(t *testing.T, f Factory, blocking bool) {
 	hist := rec.History()
 	if res := lincheck.Check(hist); !res.Ok {
 		t.Fatalf("history of %d ops: %v", len(hist), res)
+	}
+}
+
+// nodeGrowth drives dense byte-level fanout so radix structures walk the
+// whole node-kind ladder (ART: Node4 -> Node16 -> Node48 -> Node256 on
+// the way up, and back down on deletion) while readers race the
+// transitions. Keys are branch<<56 | j, so each distinct top byte is a
+// distinct child of the root node; workers own disjoint branch sets,
+// making the final state exactly predictable. Non-radix structures just
+// see a skewed key distribution, which is harmless.
+func nodeGrowth(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	branches := 256
+	if testing.Short() {
+		branches = 72 // still crosses the 48->256 growth threshold
+	}
+	const workers = 4
+	const perBranch = 3
+	key := func(b, j int) uint64 { return uint64(b)<<56 | uint64(j) }
+
+	// Phase 1: concurrent inserts across all branches, with a racing
+	// reader sweeping the key space while nodes grow underneath it.
+	done := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		p := rt.Register()
+		defer p.Unregister()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for b := 0; b < branches; b++ {
+				if v, ok := s.Find(p, key(b, 1)); ok && v != key(b, 1)+1 {
+					t.Errorf("reader: key %#x has value %#x", key(b, 1), v)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			for b := w; b < branches; b += workers {
+				for j := 1; j <= perBranch; j++ {
+					if !s.Insert(p, key(b, j), key(b, j)+1) {
+						t.Errorf("w%d: Insert(%#x) failed", w, key(b, j))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	rwg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	p := rt.Register()
+	defer p.Unregister()
+	for b := 0; b < branches; b++ {
+		for j := 1; j <= perBranch; j++ {
+			if v, ok := s.Find(p, key(b, j)); !ok || v != key(b, j)+1 {
+				t.Fatalf("after growth: Find(%#x) = (%#x,%v)", key(b, j), v, ok)
+			}
+		}
+	}
+
+	// Phase 2: concurrent deletes of all but two branches walk the
+	// shrink ladder back down (256 -> 48 -> 16 -> 4).
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := rt.Register()
+			defer p.Unregister()
+			for b := w; b < branches; b += workers {
+				if b < 2 {
+					continue // survivors
+				}
+				for j := 1; j <= perBranch; j++ {
+					if !s.Delete(p, key(b, j)) {
+						t.Errorf("w%d: Delete(%#x) failed", w, key(b, j))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for b := 0; b < branches; b++ {
+		for j := 1; j <= perBranch; j++ {
+			v, ok := s.Find(p, key(b, j))
+			if b < 2 {
+				if !ok || v != key(b, j)+1 {
+					t.Fatalf("survivor Find(%#x) = (%#x,%v)", key(b, j), v, ok)
+				}
+			} else if ok {
+				t.Fatalf("deleted key %#x still present", key(b, j))
+			}
+		}
+	}
+	// The shrunken structure still accepts writes.
+	if !s.Insert(p, key(9, 1), 77) {
+		t.Fatalf("post-shrink insert failed")
+	}
+	if !s.Delete(p, key(9, 1)) {
+		t.Fatalf("post-shrink delete failed")
 	}
 }
 
