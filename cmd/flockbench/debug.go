@@ -1,0 +1,71 @@
+package main
+
+// The -pprof debug server: net/http/pprof's profiling handlers plus a
+// /metrics JSON endpoint exposing the obs counter snapshot (sorted
+// keys, see obs.Counts.MarshalJSON), the flight recorder's drop
+// estimate and the process goroutine count — enough for a scrape loop
+// to watch a long benchmark run without attaching a profiler.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+
+	"flock/internal/obs"
+	"flock/internal/obs/trace"
+)
+
+// metricsPayload is the /metrics response schema.
+type metricsPayload struct {
+	// Counters is the full obs snapshot (all counters, sorted keys).
+	Counters obs.Counts `json:"counters"`
+	// Nonzero is the compact view (only counters that have moved).
+	Nonzero map[string]uint64 `json:"nonzero"`
+	// TraceEnabled and TraceDropped describe the flight recorder:
+	// whether it is recording, and its cheap estimate of records already
+	// lost to overwrite or retired-ring eviction.
+	TraceEnabled bool   `json:"trace_enabled"`
+	TraceDropped uint64 `json:"trace_dropped"`
+	Goroutines   int    `json:"goroutines"`
+}
+
+// newDebugMux builds the handler: pprof under /debug/pprof/ (explicitly
+// registered — the server uses its own mux, not http.DefaultServeMux)
+// and /metrics.
+func newDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snap := obs.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(metricsPayload{
+			Counters:     snap,
+			Nonzero:      snap.Nonzero(),
+			TraceEnabled: trace.Enabled(),
+			TraceDropped: trace.Dropped(),
+			Goroutines:   runtime.NumGoroutine(),
+		})
+	})
+	return mux
+}
+
+// startDebugServer listens on addr (e.g. ":6060" or "127.0.0.1:0") and
+// serves the debug mux in the background. It returns the bound address
+// (useful when addr requested port 0) and a shutdown func.
+func startDebugServer(addr string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: newDebugMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

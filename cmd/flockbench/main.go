@@ -73,6 +73,23 @@
 //	flockbench -figure ext-ycsb-a -metrics
 //	flockbench -structure leaftree -threads 16 -stall 100 -metrics
 //
+// The flight-recorder extension (DESIGN.md S16) — per-Proc lock-event
+// tracing over the measured window, exported as Chrome trace-event
+// JSON (open in https://ui.perfetto.dev or chrome://tracing; one track
+// per Proc, helping hand-offs drawn as flow arrows). -tracedump arms
+// the anomaly dumper: the first op exceeding -tracedump-mult x the
+// running p99 snapshots the rings while the outlier's surroundings are
+// still in them:
+//
+//	flockbench -structure leaftree -threads 8 -stall 50 -trace out.json
+//	flockbench -structure leaftree -ycsb a -trace out.json -tracedump slow.json -tracedump-mult 16
+//
+// Profiling and live scraping — net/http/pprof plus a /metrics JSON
+// endpoint (obs counter snapshot, trace drop estimate, goroutine
+// count):
+//
+//	flockbench -figure ext-ycsb-a -pprof :6060
+//
 // Machine-readable capture (one JSON record per point, JSONL):
 //
 //	flockbench -figure all -json > BENCH_all.json
@@ -89,6 +106,7 @@ import (
 	"time"
 
 	"flock/internal/harness"
+	"flock/internal/obs/trace"
 )
 
 func main() {
@@ -133,6 +151,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nonAtomic = flags.Bool("nonatomic", false, "single-point: per-key non-atomic arm of the txn layer (-txn)")
 		shards    = flags.Int("shards", 0, "KV shard count (single-point -ycsb/-txn, and the default for ext-ycsb/ext-txn figures)")
 		metrics   = flags.Bool("metrics", false, "collect obs runtime metrics over the measured window (helping/retry rates, fairness, time series); adds table sections, :metrics CSV columns and a 'metrics' JSON object")
+		tracePath = flags.String("trace", "", "single-point: record the lock-event flight recorder over the measured window and write Chrome trace-event JSON to this file (open in Perfetto / chrome://tracing)")
+		traceDump = flags.String("tracedump", "", "single-point: with -trace, also arm the anomaly dumper — the first op exceeding -tracedump-mult x the running p99 dumps the recorder to this file")
+		traceMult = flags.Float64("tracedump-mult", 0, "anomaly threshold as a multiple of the running p99 (default 8)")
+		pprofAddr = flags.String("pprof", "", "serve net/http/pprof and a /metrics JSON endpoint on this address (e.g. :6060) for the lifetime of the run")
 		seed      = flags.Uint64("seed", 42, "workload seed")
 	)
 	if err := flags.Parse(args); err != nil {
@@ -142,6 +164,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		printCatalog(stdout)
 		return 0
+	}
+
+	if *pprofAddr != "" {
+		bound, stopDebug, err := startDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "flockbench: -pprof: %v\n", err)
+			return 1
+		}
+		defer stopDebug()
+		fmt.Fprintf(stderr, "flockbench: debug server on http://%s (/debug/pprof/, /metrics)\n", bound)
 	}
 
 	sc := harness.DefaultScale()
@@ -186,6 +218,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch {
 	case *figure != "":
+		if *tracePath != "" || *traceDump != "" {
+			fmt.Fprintln(stderr, "flockbench: -trace/-tracedump apply to single-point runs (-structure), not -figure")
+			return 1
+		}
 		ids := []string{*figure}
 		if *figure == "all" {
 			ids = harness.FigureIDs()
@@ -238,7 +274,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			TxnNonAtomic: *nonAtomic,
 			Shards:       *shards,
 			Metrics:      *metrics,
+			Trace:        *tracePath != "" || *traceDump != "",
+			TraceDump:    *traceDump,
 		}
+		spec.TraceDumpP99Mult = *traceMult
 		if (spec.YCSB != "" || spec.TxnMix != "") && spec.Shards < 1 {
 			spec.Shards = 1
 		}
@@ -246,6 +285,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "flockbench: %v\n", err)
 			return 1
+		}
+		if *tracePath != "" {
+			if err := writeTrace(*tracePath, st, stderr); err != nil {
+				fmt.Fprintf(stderr, "flockbench: -trace: %v\n", err)
+				return 1
+			}
 		}
 		if *jsonOut {
 			writeJSON(stdout, pointRecord{
@@ -399,6 +444,25 @@ func printFigureJSON(w io.Writer, fig harness.Figure) {
 			Metrics: pt.Metrics,
 		})
 	}
+}
+
+// writeTrace exports the last measured repetition's flight-recorder
+// snapshot as Chrome trace-event JSON (Perfetto-loadable).
+func writeTrace(path string, st harness.Stats, stderr io.Writer) error {
+	if st.Trace == nil {
+		return fmt.Errorf("run produced no trace snapshot")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.ExportChrome(f, *st.Trace); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "flockbench: wrote %d trace events (%d dropped) to %s\n",
+		len(st.Trace.Events), st.Trace.Dropped, path)
+	return nil
 }
 
 // fmtLat renders a latency compactly in microseconds.

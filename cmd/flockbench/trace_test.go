@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceFlagEndToEnd runs a tiny heavily-contended point with -trace
+// and validates the emitted Chrome trace-event JSON structurally:
+// per-Proc thread tracks, critical-section spans, and — because stall
+// injection on a single hot lock forces helping — at least one matched
+// s/f flow pair for a help hand-off.
+func TestTraceFlagEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-structure", "leaftree", "-threads", "4", "-keys", "64",
+		"-stall", "1", "-duration", "100ms", "-repeats", "1", "-warmup", "0",
+		"-trace", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "wrote") {
+		t.Fatalf("no trace-written notice on stderr:\n%s", errb.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-trace emitted invalid JSON: %v", err)
+	}
+	if _, ok := doc.Metadata["dropped_records"]; !ok {
+		t.Error("metadata missing dropped_records")
+	}
+	tracks := 0
+	phases := map[string]int{}
+	flowIDs := map[float64][2]int{} // numeric flow id -> [s count, f count]
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if ph == "M" && ev["name"] == "thread_name" {
+			tracks++
+		}
+		if ph == "s" || ph == "f" {
+			id, ok := ev["id"].(float64)
+			if !ok {
+				t.Fatalf("flow event missing numeric id: %v", ev)
+			}
+			c := flowIDs[id]
+			if ph == "s" {
+				c[0]++
+			} else {
+				c[1]++
+			}
+			flowIDs[id] = c
+		}
+	}
+	// 4 workers + the global ring's track.
+	if tracks < 4 {
+		t.Errorf("only %d thread_name tracks, want >= 4 (one per Proc)", tracks)
+	}
+	if phases["X"] == 0 {
+		t.Error("no complete spans (critical sections) in the trace")
+	}
+	if phases["s"] == 0 || phases["s"] != phases["f"] {
+		t.Fatalf("help hand-off flow events: %d starts, %d finishes; want a matched nonzero set (stall injection must force helping)", phases["s"], phases["f"])
+	}
+	for id, c := range flowIDs {
+		if c[0] != 1 || c[1] != 1 {
+			t.Fatalf("flow id %v has %d starts / %d finishes, want exactly 1/1", id, c[0], c[1])
+		}
+	}
+}
+
+// TestTraceFlagRejectedInFigureMode pins the CLI contract: -trace is a
+// single-point facility.
+func TestTraceFlagRejectedInFigureMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-figure", "fig4", "-trace", "x.json"}, &out, &errb)
+	if code == 0 {
+		t.Fatal("-figure with -trace must fail")
+	}
+	if !strings.Contains(errb.String(), "single-point") {
+		t.Fatalf("unhelpful error:\n%s", errb.String())
+	}
+}
+
+// TestDebugServerMetricsEndpoint starts the -pprof server on an
+// ephemeral port and checks /metrics returns well-formed JSON with the
+// obs counter snapshot (sorted keys), trace state and goroutine count,
+// and that the pprof index answers.
+func TestDebugServerMetricsEndpoint(t *testing.T) {
+	bound, stop, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics -> %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var payload struct {
+		Counters     map[string]uint64 `json:"counters"`
+		Nonzero      map[string]uint64 `json:"nonzero"`
+		TraceEnabled *bool             `json:"trace_enabled"`
+		TraceDropped *uint64           `json:"trace_dropped"`
+		Goroutines   int               `json:"goroutines"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("/metrics emitted invalid JSON: %v\n%s", err, body)
+	}
+	if len(payload.Counters) == 0 {
+		t.Error("counters object empty — obs snapshot not marshalled")
+	}
+	if payload.TraceEnabled == nil || payload.TraceDropped == nil {
+		t.Error("trace fields missing from /metrics")
+	}
+	if payload.Goroutines <= 0 {
+		t.Errorf("goroutines = %d", payload.Goroutines)
+	}
+	// Sorted-key marshalling: the raw bytes must list counter names in
+	// order (obs.Counts.MarshalJSON's contract, so scrapes diff cleanly).
+	cs := bytes.Index(body, []byte(`"counters"`))
+	if cs < 0 {
+		t.Fatal("no counters key in raw body")
+	}
+	seg := body[cs:]
+	end := bytes.IndexByte(seg, '}')
+	var names []string
+	for _, m := range bytes.Split(seg[:end], []byte(",")) {
+		if q := bytes.IndexByte(m, '"'); q >= 0 {
+			if q2 := bytes.IndexByte(m[q+1:], '"'); q2 > 0 {
+				names = append(names, string(m[q+1:q+1+q2]))
+			}
+		}
+	}
+	names = names[1:] // drop the "counters" key itself
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("counter keys not sorted: %q after %q", names[i], names[i-1])
+		}
+	}
+
+	pp, err := http.Get("http://" + bound + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/ -> %d", pp.StatusCode)
+	}
+}

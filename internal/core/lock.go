@@ -3,8 +3,10 @@ package flock
 import (
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"flock/internal/obs"
+	"flock/internal/obs/trace"
 )
 
 // lockState is the value held by a lock word: a descriptor pointer, a
@@ -38,6 +40,12 @@ type Lock struct {
 	bver atomic.Uint64
 }
 
+// lockID names a lock in flight-recorder events: its address, which is
+// stable for the lock's lifetime and cheap to obtain. (A recycled
+// address can in principle denote two locks within one trace window;
+// generations disambiguate critical-section instances regardless.)
+func lockID(l *Lock) uint64 { return uint64(uintptr(unsafe.Pointer(l))) }
+
 // blockHeld is one entry of a Proc's blocking-mode held-lock stack:
 // the acquired lock, and whether the critical section already released
 // it early via Unlock (in which case the scope exit must not release
@@ -64,6 +72,7 @@ var (
 // acquired through nested TryLock calls (the paper's "simply nested"
 // discipline keeps the construction lock-free).
 func (l *Lock) TryLock(p *Proc, f Thunk) bool {
+	p.traceEmit(trace.AcqStart, lockID(l), 0, 0)
 	if p.rt.blocking.Load() {
 		return l.tryLockBlocking(p, f)
 	}
@@ -82,6 +91,13 @@ func (l *Lock) TryLock(p *Proc, f Thunk) bool {
 		}
 		if swapped && cur.d != nil && cur.d != my {
 			p.retireDescriptor(cur.d)
+		}
+		if swapped && p.blk == nil {
+			// A top-level physical install always commits (once in the
+			// lock word, the descriptor is helped to completion), so
+			// this event count equals obs.AcquiresLF, timestamped
+			// before the critical section runs.
+			p.traceEmit(trace.AcqInstalled, lockID(l), p.id, myLS.ver)
 		}
 		cur2 := l.state.Load(p)
 		// The done check (Algorithm 3, line 20) is essential: our CAM may
@@ -126,6 +142,7 @@ func (l *Lock) TryLock(p *Proc, f Thunk) bool {
 // not simply nested (§4), but remain useful for comparison with try-locks
 // (Figure 4) and for code that cannot restart.
 func (l *Lock) Lock(p *Proc, f Thunk) bool {
+	p.traceEmit(trace.AcqStart, lockID(l), 0, 0)
 	if p.rt.blocking.Load() {
 		return l.lockBlocking(p, f)
 	}
@@ -147,6 +164,12 @@ func (l *Lock) Lock(p *Proc, f Thunk) bool {
 		}
 		if swapped && cur.d != nil && cur.d != my {
 			p.retireDescriptor(cur.d) // see TryLock: exactly-once unlink
+		}
+		if swapped && p.blk == nil {
+			p.traceEmit(trace.AcqInstalled, lockID(l), p.id, myLS.ver)
+			if spins > 0 {
+				p.traceEmit(trace.SpinEpisode, lockID(l), 0, spins)
+			}
 		}
 		cur2 := l.state.Load(p)
 		if my.loadDone(p) || cur2 == myLS {
@@ -182,10 +205,19 @@ func (l *Lock) Unlock(p *Proc) {
 		}
 		l.bver.Add(1) // odd -> even: release precedes the unlocking store
 		l.state.b.Store(unblockedBox)
+		p.traceEmit(trace.Release, lockID(l), p.id, 0)
 		return
 	}
 	cur := l.state.Load(p)
-	l.state.CAM(p, cur, lockState{d: cur.d, locked: false, ver: cur.ver + 1})
+	owner := uint64(0)
+	if cur.d != nil {
+		owner = cur.d.owner
+	}
+	// camx (same CAS CAM performs): only the run whose CAS physically
+	// released records the hand-over-hand release event.
+	if l.state.camx(p, cur, lockState{d: cur.d, locked: false, ver: cur.ver + 1}) && cur.locked {
+		p.traceEmit(trace.Release, lockID(l), owner, cur.ver)
+	}
 }
 
 // Held reports whether the lock is currently held (a racy snapshot; for
@@ -199,25 +231,41 @@ func (l *Lock) Held() bool {
 // first time, or helping, or harmlessly replaying a finished thunk), sets
 // the done flag, and releases the lock if it still holds this descriptor.
 func (l *Lock) runAndUnlock(p *Proc, ls lockState) bool {
+	tr := trace.On()
+	if tr && ls.d.owner != p.id {
+		p.traceEmit(trace.HelpBegin, lockID(l), ls.d.owner, ls.ver)
+	}
 	res := p.run(ls.d)
-	if obs.On() {
+	if obs.On() || tr {
 		// Exactly one run wins the completion claim, making helping
 		// attribution exact: claims partition committed thunks into
 		// own-completions and helps-given, and every losing run is a
 		// replay. The claim precedes the done store so the owner's
-		// post-acquisition read of finisher is never racing it.
+		// post-acquisition read of finisher is never racing it. The
+		// trace events mirror the obs counters one-for-one (the
+		// conservation law internal/core's trace test pins).
 		if ls.d.finisher.CompareAndSwap(0, p.id) {
 			if ls.d.owner == p.id {
 				p.metrics.Inc(obs.OwnCompletions)
 			} else {
 				p.metrics.Inc(obs.HelpsGiven)
+				if tr {
+					p.traceEmit(trace.HelpEnd, lockID(l), ls.d.owner, ls.ver)
+				}
 			}
 		} else {
 			p.metrics.Inc(obs.ThunkReplays)
+			if tr {
+				p.traceEmit(trace.Replay, lockID(l), ls.d.owner, ls.ver)
+			}
 		}
 	}
 	ls.d.done.Store(1) // update-once: every run stores the same value
-	l.state.CAM(p, ls, lockState{d: ls.d, locked: false, ver: ls.ver + 1})
+	// camx: exactly one run physically releases, and that run (alone)
+	// emits the Release event for this generation.
+	if l.state.camx(p, ls, lockState{d: ls.d, locked: false, ver: ls.ver + 1}) && tr {
+		p.traceEmit(trace.Release, lockID(l), ls.d.owner, ls.ver)
+	}
 	return res
 }
 
@@ -237,7 +285,8 @@ func (l *Lock) tryLockBlocking(p *Proc, f Thunk) bool {
 	p.bheld = append(p.bheld, blockHeld{l: l})
 	if p.bdepth == 1 {
 		p.metrics.Inc(obs.AcquiresBlocking) // outermost only, as lock-free
-		p.maybeStall()                      // outermost acquisition only, as in lock-free mode
+		p.traceEmit(trace.AcqBlocking, lockID(l), p.id, 0)
+		p.maybeStall() // outermost acquisition only, as in lock-free mode
 	}
 	res := f(p)
 	released := p.bheld[len(p.bheld)-1].released
@@ -246,6 +295,7 @@ func (l *Lock) tryLockBlocking(p *Proc, f Thunk) bool {
 	if !released {
 		l.bver.Add(1) // odd -> even: writes of f precede the release bump
 		l.state.b.Store(unblockedBox)
+		p.traceEmit(trace.Release, lockID(l), p.id, 0)
 	}
 	return res
 }
@@ -266,6 +316,10 @@ func (l *Lock) lockBlocking(p *Proc, f Thunk) bool {
 				if p.bdepth == 1 {
 					p.metrics.Inc(obs.AcquiresBlocking)
 					p.metrics.Add(obs.StrictSpins, uint64(spins))
+					p.traceEmit(trace.AcqBlocking, lockID(l), p.id, 0)
+					if spins > 0 {
+						p.traceEmit(trace.SpinEpisode, lockID(l), 0, uint64(spins))
+					}
 					p.maybeStall() // outermost acquisition only
 				}
 				res := f(p)
@@ -275,6 +329,7 @@ func (l *Lock) lockBlocking(p *Proc, f Thunk) bool {
 				if !released {
 					l.bver.Add(1) // odd -> even
 					l.state.b.Store(unblockedBox)
+					p.traceEmit(trace.Release, lockID(l), p.id, 0)
 				}
 				return res
 			}

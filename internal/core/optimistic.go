@@ -1,6 +1,9 @@
 package flock
 
-import "flock/internal/obs"
+import (
+	"flock/internal/obs"
+	"flock/internal/obs/trace"
+)
 
 // Optimistic version-validated reads (DESIGN.md S13). The paper's own
 // read paths run as optimistic unlocked reads; this file gives flock
@@ -109,8 +112,10 @@ func (rt *Runtime) OptimisticRead(p *Proc, l *Lock, fn Thunk) bool {
 		// (per-Proc blocks, obs.Snapshot to aggregate), replacing the
 		// Runtime-global atomics this combinator carried before it.
 		p.metrics.Inc(obs.OptRestarts)
+		p.traceEmit(trace.OptRestart, lockID(l), 0, 0)
 	}
 	p.End()
 	p.metrics.Inc(obs.OptEscalations)
+	p.traceEmit(trace.OptEscalate, lockID(l), 0, 0)
 	return l.Lock(p, fn)
 }

@@ -1,6 +1,9 @@
 package flock
 
-import "flock/internal/obs"
+import (
+	"flock/internal/obs"
+	"flock/internal/obs/trace"
+)
 
 // Per-Proc object pools (§6 of the paper, DESIGN.md S10).
 //
@@ -98,6 +101,7 @@ func (p *Proc) poolPut(key poolKey, obj any) {
 				tp.free = append(tp.free, obj)
 			} else {
 				p.metrics.Inc(obs.PoolSpills)
+				p.traceEmit(trace.PoolSpill, 0, 0, 0)
 			}
 			return
 		}
@@ -117,6 +121,7 @@ func (p *Proc) deferReuse(key poolKey, obj any) {
 		// keeps attempting drains, so the list unsticks as soon as the
 		// epoch moves again.
 		p.metrics.Inc(obs.PoolSpills)
+		p.traceEmit(trace.PoolSpill, 0, 0, 0)
 		return
 	}
 	p.pending = append(p.pending, reusable{key: key, obj: obj, epoch: p.rt.epochs.GlobalEpoch()})
@@ -199,6 +204,7 @@ func (p *Proc) scrubDescriptor(d *descriptor) {
 		p.dfree = append(p.dfree, d)
 	} else {
 		p.metrics.Inc(obs.PoolSpills)
+		p.traceEmit(trace.PoolSpill, 0, 0, 0)
 	}
 }
 
@@ -269,6 +275,7 @@ func (p *Proc) freeBlock(b *logBlock) {
 		p.bfree = append(p.bfree, b)
 	} else {
 		p.metrics.Inc(obs.PoolSpills)
+		p.traceEmit(trace.PoolSpill, 0, 0, 0)
 	}
 }
 

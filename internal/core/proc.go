@@ -6,6 +6,7 @@ import (
 
 	"flock/internal/epoch"
 	"flock/internal/obs"
+	"flock/internal/obs/trace"
 )
 
 // Runtime owns the global state shared by all Procs: the epoch-based
@@ -107,6 +108,10 @@ type Proc struct {
 	// metrics is the Proc's private obs counter block: cache-padded,
 	// written only by this worker, summed by obs.Snapshot.
 	metrics *obs.Block
+	// tring is the Proc's flight-recorder ring (DESIGN.md S16),
+	// allocated lazily on the first traced event so Procs registered
+	// while tracing is off carry no ring at all.
+	tring *trace.Ring
 	// bdepth is the blocking-mode critical-section nesting depth. In
 	// lock-free mode "top level" is p.blk == nil, but blocking mode has
 	// no log, so nested blocking acquisitions (composed transactions)
@@ -174,11 +179,63 @@ func (p *Proc) Unregister() {
 	p.slot.Unregister()
 	p.pending = nil
 	p.metrics.Release()
+	if p.tring != nil {
+		p.tring.Release()
+		p.tring = nil
+	}
 }
 
 // Obs returns the Proc's metrics block, for layers above core (kv, txn)
 // that attribute their own events to the worker.
 func (p *Proc) Obs() *obs.Block { return p.metrics }
+
+// traceEmit records one flight-recorder event attributed to this Proc.
+// The disabled path is one cold bool load and a branch (the slow path
+// is kept out of line so this wrapper inlines into call sites).
+func (p *Proc) traceEmit(k trace.Kind, lock, a, b uint64) {
+	if !trace.On() {
+		return
+	}
+	p.traceEmitSlow(k, lock, a, b)
+}
+
+//go:noinline
+func (p *Proc) traceEmitSlow(k trace.Kind, lock, a, b uint64) {
+	r := p.tring
+	if r == nil {
+		r = trace.NewRing(p.id)
+		p.tring = r
+	}
+	r.Emit(k, lock, a, b)
+}
+
+// Trace records a flight-recorder event on the Proc's ring, for layers
+// above core (kv, txn) that trace their own spans. A no-op while
+// tracing is disabled.
+func (p *Proc) Trace(k trace.Kind, lock, a, b uint64) { p.traceEmit(k, lock, a, b) }
+
+// TraceAt is Trace with a caller-supplied timestamp (trace.Now), for
+// span recorders that already read the clock to compute a duration.
+func (p *Proc) TraceAt(k trace.Kind, ts int64, lock, a, b uint64) {
+	if !trace.On() {
+		return
+	}
+	p.traceAtSlow(k, ts, lock, a, b)
+}
+
+//go:noinline
+func (p *Proc) traceAtSlow(k trace.Kind, ts int64, lock, a, b uint64) {
+	r := p.tring
+	if r == nil {
+		r = trace.NewRing(p.id)
+		p.tring = r
+	}
+	r.EmitAt(k, ts, lock, a, b)
+}
+
+// ID returns the Proc's registration ordinal — the id trace events and
+// completion claims attribute work to.
+func (p *Proc) ID() uint64 { return p.id }
 
 // Begin enters an epoch guard. Every data structure operation must run
 // between Begin and End so that memory retired by concurrent operations
@@ -215,6 +272,7 @@ func (p *Proc) maybeStall() {
 	p.stalls++
 	if p.stalls >= n {
 		p.stalls = 0
+		p.traceEmit(trace.Stall, 0, 0, 0)
 		for i := 0; i < 8; i++ {
 			runtime.Gosched()
 		}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"flock/internal/obs"
+	"flock/internal/obs/trace"
 )
 
 // Quiescent is announced by slots that are not inside any guard.
@@ -229,8 +230,13 @@ func (m *Manager) TryAdvance() bool {
 		}
 	}
 	ok := m.global.CompareAndSwap(g, g+1)
-	if ok && track {
-		obs.Global().Inc(obs.EpochAdvances)
+	if ok {
+		if track {
+			obs.Global().Inc(obs.EpochAdvances)
+		}
+		if trace.On() {
+			trace.Global().Emit(trace.EpochAdvance, 0, g+1, 0)
+		}
 	}
 	return ok
 }
@@ -266,6 +272,9 @@ func (s *Slot) reclaim() {
 			obs.Global().Inc(obs.EpochReclaimBatches)
 			obs.Global().Add(obs.EpochReclaimLagEpochs, bound-s.pending[i].epoch)
 		}
+		if trace.On() {
+			trace.Global().Emit(trace.EpochReclaim, 0, s.pending[i].epoch, uint64(len(s.pending[i].fns)))
+		}
 		for _, fn := range s.pending[i].fns {
 			fn()
 		}
@@ -300,6 +309,9 @@ func (m *Manager) reclaimOrphans(bound uint64) {
 		if track {
 			obs.Global().Inc(obs.EpochReclaimBatches)
 			obs.Global().Add(obs.EpochReclaimLagEpochs, bound-b.epoch)
+		}
+		if trace.On() {
+			trace.Global().Emit(trace.EpochReclaim, 0, b.epoch, uint64(len(b.fns)))
 		}
 		for _, fn := range b.fns {
 			fn()

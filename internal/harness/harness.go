@@ -18,6 +18,7 @@ import (
 
 	flock "flock/internal/core"
 	"flock/internal/obs"
+	"flock/internal/obs/trace"
 
 	"flock/internal/baseline/ellen"
 	"flock/internal/baseline/harris"
@@ -166,6 +167,23 @@ type Spec struct {
 	// MetricsInterval is the time-series sampling cadence; values <= 0
 	// mean Duration/8 (clamped to >= 1ms).
 	MetricsInterval time.Duration
+	// Trace enables the lock-event flight recorder (internal/obs/trace)
+	// for the measured window: measure() flips the trace flag on around
+	// the window (restoring it after, like Metrics), opens a fresh
+	// collection window with trace.Reset, and attaches the stitched
+	// snapshot to Result.Trace. Off by default — the disabled recorder
+	// is a cold-bool branch per emission site.
+	Trace bool
+	// TraceDump, when nonempty (and Trace is set), arms the anomaly
+	// dumper: the first sampled operation whose latency exceeds
+	// TraceDumpP99Mult times the window's running p99 triggers a one-shot
+	// Chrome-trace dump of the recorder's current contents to this path,
+	// capturing the events surrounding the outlier while they are still
+	// in the rings.
+	TraceDump string
+	// TraceDumpP99Mult is the anomaly threshold multiple; values <= 0
+	// mean 8x.
+	TraceDumpP99Mult float64
 	// Figure is a label for the figure this spec was derived from
 	// (RunFigure sets it); it only feeds the pprof "figure" label on
 	// worker goroutines, so CPU profiles attribute samples per series.
@@ -224,6 +242,10 @@ type Result struct {
 	// Metrics holds the obs counter deltas, time series and per-shard op
 	// counts for the window; nil unless Spec.Metrics was set.
 	Metrics *MetricsWindow
+	// Trace is the flight-recorder snapshot of the window (stitched
+	// time-ordered events plus drop count); nil unless Spec.Trace was
+	// set.
+	Trace *trace.Trace
 }
 
 // P50 returns the median per-op latency (0 on an empty histogram).
@@ -605,9 +627,24 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 		obs.SetEnabled(true)
 		defer obs.SetEnabled(prev)
 	}
+	var dumper *traceDumper
+	if spec.Trace {
+		// Same save/restore discipline as the obs flag; Reset opens a
+		// fresh collection window so the snapshot covers only this run.
+		prev := trace.Enabled()
+		trace.SetEnabled(true)
+		defer trace.SetEnabled(prev)
+		trace.Reset()
+		if spec.TraceDump != "" {
+			dumper = newTraceDumper(spec.TraceDump, spec.TraceDumpP99Mult)
+		}
+	}
 	var ready, wg sync.WaitGroup
 	for w := 0; w < spec.Threads; w++ {
 		hists[w] = NewLatencyHist()
+		if dumper != nil {
+			hists[w].SetAnomaly(dumper.observe)
+		}
 		ready.Add(1)
 		wg.Add(1)
 		go func(w int) {
@@ -662,10 +699,14 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 					return
 				case <-tick.C:
 					d := obs.Snapshot().Sub(s0)
+					var ms runtime.MemStats
+					runtime.ReadMemStats(&ms)
 					samples = append(samples, MetricSample{
-						AtMs:     time.Since(t0).Seconds() * 1e3,
-						Helps:    d.Get(obs.HelpsGiven),
-						CASFails: d.Get(obs.InstallCASFails),
+						AtMs:       time.Since(t0).Seconds() * 1e3,
+						Helps:      d.Get(obs.HelpsGiven),
+						CASFails:   d.Get(obs.InstallCASFails),
+						Goroutines: runtime.NumGoroutine(),
+						GCPauseNs:  ms.PauseTotalNs - ms0.PauseTotalNs,
 					})
 				}
 			}
@@ -708,11 +749,19 @@ func measure(spec Spec, worker func(w int, begin func(), stop *atomic.Bool, hist
 		// symmetric with how Ops counts them).
 		d := obs.Snapshot().Sub(s0)
 		samples = append(samples, MetricSample{
-			AtMs:     el.Seconds() * 1e3,
-			Helps:    d.Get(obs.HelpsGiven),
-			CASFails: d.Get(obs.InstallCASFails),
+			AtMs:       el.Seconds() * 1e3,
+			Helps:      d.Get(obs.HelpsGiven),
+			CASFails:   d.Get(obs.InstallCASFails),
+			Goroutines: runtime.NumGoroutine(),
+			GCPauseNs:  ms1.PauseTotalNs - ms0.PauseTotalNs,
 		})
 		res.Metrics = &MetricsWindow{Window: d, Samples: samples}
+	}
+	if spec.Trace {
+		// Snapshot after wg.Wait: exited workers' rings are on the
+		// retired list, so the stitched stream covers every worker.
+		tr := trace.Snapshot()
+		res.Trace = &tr
 	}
 	return res, nil
 }
@@ -743,6 +792,10 @@ type Stats struct {
 	// (counter deltas and shard ops summed; time series from the last
 	// repetition); nil unless Spec.Metrics was set.
 	Metrics *MetricsWindow
+	// Trace is the last measured repetition's flight-recorder snapshot
+	// (rings are overwritten across repetitions, so only the final
+	// window survives intact); nil unless Spec.Trace was set.
+	Trace *trace.Trace
 }
 
 // RunStats performs warmup runs followed by measured repetitions,
@@ -780,6 +833,9 @@ func RunStats(spec Spec, warmup, repeats int) (Stats, error) {
 			st.Metrics.Window = st.Metrics.Window.Add(r.Metrics.Window)
 			st.Metrics.ShardOps = addSlices(st.Metrics.ShardOps, r.Metrics.ShardOps)
 			st.Metrics.Samples = r.Metrics.Samples // last repetition's series
+		}
+		if r.Trace != nil {
+			st.Trace = r.Trace // last repetition's window
 		}
 	}
 	st.AllocsPerOp = allocs / float64(repeats)

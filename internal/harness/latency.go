@@ -21,10 +21,18 @@ const (
 type LatencyHist struct {
 	counts [latBuckets]uint64
 	total  uint64
+	// anomaly, when non-nil, receives every recorded observation (the
+	// trace anomaly dumper's tap; see harness.traceDumper). It must be
+	// cheap and safe for concurrent calls from other workers' hists.
+	anomaly func(time.Duration)
 }
 
 // NewLatencyHist returns an empty histogram.
 func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
+
+// SetAnomaly installs an observation tap (nil removes it). Call before
+// recording begins; the tap is not synchronized with Record.
+func (h *LatencyHist) SetAnomaly(f func(time.Duration)) { h.anomaly = f }
 
 // latIndex maps a nanosecond count to its bucket.
 func latIndex(ns uint64) int {
@@ -53,6 +61,9 @@ func (h *LatencyHist) Record(d time.Duration) {
 	}
 	h.counts[latIndex(ns)]++
 	h.total++
+	if h.anomaly != nil {
+		h.anomaly(time.Duration(ns))
+	}
 }
 
 // Merge adds o's counts into h.

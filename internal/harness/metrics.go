@@ -20,6 +20,13 @@ type MetricSample struct {
 	AtMs     float64 `json:"t_ms"`
 	Helps    uint64  `json:"helps"`
 	CASFails uint64  `json:"cas_fails"`
+	// Goroutines is the process goroutine count at the sample instant
+	// and GCPauseNs the cumulative GC stop-the-world pause time since
+	// the window began (runtime.ReadMemStats PauseTotalNs delta) — the
+	// two runtime-level signals that distinguish scheduler pressure and
+	// collector stalls from lock contention in a window's time series.
+	Goroutines int    `json:"goroutines"`
+	GCPauseNs  uint64 `json:"gc_pause_ns"`
 }
 
 // MetricsWindow is the obs view of one measured window: the counter

@@ -1,0 +1,109 @@
+package harness
+
+// Anomaly-triggered flight-recorder dumps (DESIGN.md S16). The point of
+// a ring-buffer tracer is that it is always a few milliseconds of
+// history deep: when a latency outlier happens, the events explaining
+// it are still in the rings — but only briefly, before the workload
+// overwrites them. The dumper watches the per-op latency stream and
+// snapshots the recorder the moment an operation exceeds a multiple of
+// the window's running p99, so the dump captures the outlier's
+// surroundings rather than whatever the rings hold at window end.
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"flock/internal/obs/trace"
+)
+
+// dumpWarmup is the observation count before the dumper arms: the
+// running p99 is meaningless until the histogram has some mass, and
+// the first operations of a window (cold pools, first-touch pages) are
+// legitimately slow.
+const dumpWarmup = 2048
+
+// thresholdEvery paces threshold recomputation (a 512-bucket scan);
+// power of two so the pacing check is a mask.
+const thresholdEvery = 4096
+
+// traceDumper taps every worker's latency stream (LatencyHist.SetAnomaly)
+// and fires a one-shot Chrome-trace dump when an operation exceeds mult
+// times the running p99. It keeps its own atomic histogram — the
+// workers' hists are unsynchronized by design — so the tap is a few
+// atomic adds per op and the p99 scan runs only every thresholdEvery
+// observations.
+type traceDumper struct {
+	path      string
+	mult      float64
+	counts    [latBuckets]atomic.Uint64
+	total     atomic.Uint64
+	threshold atomic.Uint64 // ns; 0 = not yet armed
+	fired     atomic.Bool
+}
+
+func newTraceDumper(path string, mult float64) *traceDumper {
+	if mult <= 0 {
+		mult = 8
+	}
+	return &traceDumper{path: path, mult: mult}
+}
+
+// observe is the per-op tap. Concurrent-safe; allocation-free until the
+// one dump fires.
+func (d *traceDumper) observe(lat time.Duration) {
+	ns := uint64(lat)
+	d.counts[latIndex(ns)].Add(1)
+	n := d.total.Add(1)
+	if n >= dumpWarmup && n%thresholdEvery == 0 {
+		d.threshold.Store(uint64(float64(d.p99()) * d.mult))
+	}
+	if t := d.threshold.Load(); t != 0 && ns > t && d.fired.CompareAndSwap(false, true) {
+		// Snapshot from a fresh goroutine: the worker that hit the
+		// outlier should not also pay for stitching and JSON encoding.
+		go d.dump(ns, t)
+	}
+}
+
+// p99 computes the 99th percentile of the dumper's own histogram (same
+// bucketing as LatencyHist, lower-bound semantics).
+func (d *traceDumper) p99() uint64 {
+	total := d.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(0.99 * float64(total-1))
+	var cum uint64
+	for i := range d.counts {
+		c := d.counts[i].Load()
+		cum += c
+		if c != 0 && cum > rank {
+			return latLower(i)
+		}
+	}
+	return latLower(latBuckets - 1)
+}
+
+// dump writes the recorder's current contents as Chrome trace-event
+// JSON. Failures are reported on stderr — the dump is diagnostic side
+// output; it must never fail the run.
+func (d *traceDumper) dump(outlierNs, thresholdNs uint64) {
+	tr := trace.Snapshot()
+	f, err := os.Create(d.path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harness: anomaly trace dump: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := trace.ExportChrome(f, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "harness: anomaly trace dump: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"harness: %.2fms op exceeded %.2fms anomaly threshold; dumped %d trace events to %s\n",
+		float64(outlierNs)/1e6, float64(thresholdNs)/1e6, len(tr.Events), d.path)
+}
+
+// Fired reports whether the anomaly dump has been written.
+func (d *traceDumper) Fired() bool { return d.fired.Load() }

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"flock/internal/obs/trace"
+)
+
+// TestSpecTraceAttachesSnapshot pins the harness plumbing: a run with
+// Spec.Trace gets a flight-recorder snapshot covering the window, the
+// flag is restored afterwards, and a plain run stays untraced.
+func TestSpecTraceAttachesSnapshot(t *testing.T) {
+	if trace.Enabled() {
+		t.Fatal("tracing unexpectedly enabled at test entry")
+	}
+	res, err := RunTimed(Spec{
+		Structure: "leaftree", Threads: 2, KeyRange: 64,
+		Duration: 20 * time.Millisecond, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("Spec.Trace run returned no trace snapshot")
+	}
+	if len(res.Trace.Events) == 0 {
+		t.Fatal("traced window captured no events")
+	}
+	if trace.Enabled() {
+		t.Error("trace flag not restored after the run")
+	}
+	plain, err := RunTimed(Spec{
+		Structure: "leaftree", Threads: 1, KeyRange: 64,
+		Duration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced run attached a trace snapshot")
+	}
+}
+
+// TestTraceDumperFires pins the anomaly path end to end: a dumper with
+// a tiny warmup-free threshold fires exactly once and writes valid
+// Chrome trace-event JSON.
+func TestTraceDumperFires(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "anomaly.json")
+	d := newTraceDumper(path, 4)
+	// Arm manually (the adaptive path needs thresholdEvery observations;
+	// the trigger comparison is what this test pins).
+	d.threshold.Store(uint64(time.Millisecond))
+	trace.Reset()
+	prev := trace.Enabled()
+	trace.SetEnabled(true)
+	defer trace.SetEnabled(prev)
+	trace.Global().Emit(trace.EpochAdvance, 0, 1, 0)
+
+	h := NewLatencyHist()
+	h.SetAnomaly(d.observe)
+	h.Record(10 * time.Microsecond) // under threshold: no dump
+	if d.Fired() {
+		t.Fatal("dumper fired below threshold")
+	}
+	h.Record(5 * time.Millisecond) // outlier
+	if !d.Fired() {
+		t.Fatal("dumper did not fire on an outlier")
+	}
+	// The dump is written asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	var raw []byte
+	for {
+		var err error
+		if raw, err = os.ReadFile(path); err == nil && len(raw) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dump file never appeared: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("dump contains no trace events")
+	}
+	h.Record(5 * time.Millisecond) // second outlier must not re-fire
+	if got := d.total.Load(); got != 3 {
+		t.Fatalf("dumper observed %d ops, want 3", got)
+	}
+}
+
+// TestAdaptiveThresholdArms pins the adaptive arming math: after the
+// warmup count the threshold tracks mult x the running p99.
+func TestAdaptiveThresholdArms(t *testing.T) {
+	d := newTraceDumper(filepath.Join(t.TempDir(), "x.json"), 10)
+	for i := 0; i < thresholdEvery; i++ {
+		d.observe(time.Microsecond)
+	}
+	th := d.threshold.Load()
+	if th == 0 {
+		t.Fatal("threshold never armed")
+	}
+	// p99 of an all-1us stream is the 1us bucket's lower bound; the
+	// threshold must be ~10x that (bucket quantization <= 12.5%).
+	if th < 8*uint64(time.Microsecond.Nanoseconds()) || th > 12*uint64(time.Microsecond.Nanoseconds()) {
+		t.Fatalf("threshold = %dns, want ~10us", th)
+	}
+	if d.Fired() {
+		t.Fatal("uniform stream fired the dumper")
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	flock "flock/internal/core"
 	"flock/internal/obs"
+	"flock/internal/obs/trace"
 	"flock/internal/structures/set"
 	"flock/internal/workload"
 )
@@ -309,11 +310,11 @@ func (c *Client) note(i int) {
 	}
 }
 
-// route returns the shard and Proc for k.
-func (c *Client) route(k uint64) (*shard, *flock.Proc) {
+// route returns the shard index, shard and Proc for k.
+func (c *Client) route(k uint64) (int, *shard, *flock.Proc) {
 	i := c.st.ShardOf(k)
 	c.note(i)
-	return &c.st.shards[i], c.procs[i]
+	return i, &c.st.shards[i], c.procs[i]
 }
 
 // Get returns the value stored under k, if present. With
@@ -322,13 +323,17 @@ func (c *Client) route(k uint64) (*shard, *flock.Proc) {
 // version, escalating to a logged read under the shard lock after
 // MaxOptimistic failed attempts (optimistic.go).
 func (c *Client) Get(k uint64) (uint64, bool) {
-	i := c.st.ShardOf(k)
-	c.note(i)
-	sh, p := &c.st.shards[i], c.procs[i]
+	t0 := traceStart()
+	i, sh, p := c.route(k)
+	var v uint64
+	var ok bool
 	if c.st.optGet && !p.InThunk() {
-		return c.optimisticGet(sh, p, k)
+		v, ok = c.optimisticGet(sh, p, k)
+	} else {
+		v, ok = sh.s.Find(p, k)
 	}
-	return sh.s.Find(p, k)
+	traceOp(p, t0, uint64(i), trace.KVGet)
+	return v, ok
 }
 
 // put is the shared upsert path: native single-critical-section upsert
@@ -353,8 +358,11 @@ func put(sh *shard, p *flock.Proc, k, v uint64) (inserted bool) {
 // Put upserts (k, v) and reports whether k was newly inserted (false
 // means an existing value was replaced).
 func (c *Client) Put(k, v uint64) bool {
-	sh, p := c.route(k)
-	return put(sh, p, k, v)
+	t0 := traceStart()
+	i, sh, p := c.route(k)
+	r := put(sh, p, k, v)
+	traceOp(p, t0, uint64(i), trace.KVPut)
+	return r
 }
 
 // The Shard* operations run one key's operation on a known shard with
@@ -384,8 +392,11 @@ func (st *Store) ShardDelete(i int, p *flock.Proc, k uint64) bool {
 
 // Delete removes k and reports whether it was present.
 func (c *Client) Delete(k uint64) bool {
-	sh, p := c.route(k)
-	return sh.s.Delete(p, k)
+	t0 := traceStart()
+	i, sh, p := c.route(k)
+	r := sh.s.Delete(p, k)
+	traceOp(p, t0, uint64(i), trace.KVDelete)
+	return r
 }
 
 // ReadModifyWrite atomically replaces k's value with f(old, present)
@@ -394,7 +405,15 @@ func (c *Client) Delete(k uint64) bool {
 // section that helpers re-execute. Without native upsert the
 // read-compute-write sequence is not atomic under contention on k.
 func (c *Client) ReadModifyWrite(k uint64, f func(old uint64, present bool) uint64) (uint64, bool) {
-	sh, p := c.route(k)
+	t0 := traceStart()
+	i, sh, p := c.route(k)
+	v, ok := rmw(sh, p, k, f)
+	traceOp(p, t0, uint64(i), trace.KVRMW)
+	return v, ok
+}
+
+// rmw is ReadModifyWrite's core (see its contract).
+func rmw(sh *shard, p *flock.Proc, k uint64, f func(old uint64, present bool) uint64) (uint64, bool) {
 	if sh.up != nil {
 		return sh.up.Upsert(p, k, f)
 	}
@@ -463,11 +482,13 @@ func (c *Client) byShard(keys []uint64, visit func(i int, sh *shard, p *flock.Pr
 // GetBatch looks up every key, filling vals and oks (which it returns;
 // both are freshly allocated, len(keys) each).
 func (c *Client) GetBatch(keys []uint64) (vals []uint64, oks []bool) {
+	t0 := traceStart()
 	vals = make([]uint64, len(keys))
 	oks = make([]bool, len(keys))
 	c.byShard(keys, func(i int, sh *shard, p *flock.Proc) {
 		vals[i], oks[i] = sh.s.Find(p, keys[i])
 	})
+	traceOp(c.procs[0], t0, multiShard, trace.KVGet)
 	return vals, oks
 }
 
@@ -477,22 +498,26 @@ func (c *Client) PutBatch(keys, vals []uint64) int {
 	if len(keys) != len(vals) {
 		panic("kv: PutBatch length mismatch")
 	}
+	t0 := traceStart()
 	inserted := 0
 	c.byShard(keys, func(i int, sh *shard, p *flock.Proc) {
 		if put(sh, p, keys[i], vals[i]) {
 			inserted++
 		}
 	})
+	traceOp(c.procs[0], t0, multiShard, trace.KVPut)
 	return inserted
 }
 
 // DeleteBatch removes every key and returns how many were present.
 func (c *Client) DeleteBatch(keys []uint64) int {
+	t0 := traceStart()
 	deleted := 0
 	c.byShard(keys, func(i int, sh *shard, p *flock.Proc) {
 		if sh.s.Delete(p, keys[i]) {
 			deleted++
 		}
 	})
+	traceOp(c.procs[0], t0, multiShard, trace.KVDelete)
 	return deleted
 }

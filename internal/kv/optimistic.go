@@ -25,6 +25,7 @@ import (
 
 	flock "flock/internal/core"
 	"flock/internal/obs"
+	"flock/internal/obs/trace"
 )
 
 // optimisticGet is Get's unlogged arm: seqlock-validated OptimisticFind
@@ -43,13 +44,16 @@ func (c *Client) optimisticGet(sh *shard, p *flock.Proc, k uint64) (uint64, bool
 		}
 		// The store counters are always on (the harness diffs them around
 		// windows); the obs block mirrors them into the gated metrics
-		// layer so snapshots attribute restarts to workers.
+		// layer so snapshots attribute restarts to workers, and the
+		// flight recorder mirrors them as timeline events.
 		c.st.optRestarts.Add(1)
 		p.Obs().Inc(obs.OptRestarts)
+		p.Trace(trace.OptRestart, 0, 0, 0)
 	}
 	p.End()
 	c.st.optEscalations.Add(1)
 	p.Obs().Inc(obs.OptEscalations)
+	p.Trace(trace.OptEscalate, 0, 0, 0)
 	return c.escalatedGet(sh, p, k)
 }
 
@@ -111,6 +115,8 @@ func (c *Client) MultiGet(keys []uint64) (vals []uint64, oks []bool) {
 	if !c.st.optGet || c.procs[0].InThunk() {
 		return c.GetBatch(keys)
 	}
+	t0 := traceStart()
+	defer traceOp(c.procs[0], t0, multiShard, trace.KVBatch)
 	vals = make([]uint64, len(keys))
 	oks = make([]bool, len(keys))
 	if len(keys) == 0 {
@@ -148,6 +154,7 @@ attempts:
 				c.endAll()
 				st.optRestarts.Add(1)
 				c.procs[0].Obs().Inc(obs.OptRestarts)
+				c.procs[0].Trace(trace.OptRestart, 0, 0, 0)
 				continue attempts
 			}
 			vers[j] = v
@@ -161,6 +168,7 @@ attempts:
 				c.endAll()
 				st.optRestarts.Add(1)
 				c.procs[0].Obs().Inc(obs.OptRestarts)
+				c.procs[0].Trace(trace.OptRestart, 0, 0, 0)
 				continue attempts
 			}
 		}
@@ -169,6 +177,7 @@ attempts:
 	}
 	st.optEscalations.Add(1)
 	c.procs[0].Obs().Inc(obs.OptEscalations)
+	c.procs[0].Trace(trace.OptEscalate, 0, 0, 0)
 	return c.escalatedMultiGet(keys, shardOf, involved, vals, oks)
 }
 

@@ -14,6 +14,7 @@ import (
 
 	flock "flock/internal/core"
 	"flock/internal/obs"
+	"flock/internal/obs/trace"
 	"flock/internal/structures/set"
 )
 
@@ -89,14 +90,19 @@ func (c *Client) Scan(lo, hi uint64, limit int) []set.KV {
 	if limit == 0 {
 		return nil
 	}
+	t0 := traceStart()
 	if st.optScan && !c.procs[0].InThunk() {
 		if out, ok := c.scanOptimistic(lo, hi, limit); ok {
+			traceOp(c.procs[0], t0, multiShard, trace.KVScan)
 			return out
 		}
 		st.optEscalations.Add(1)
 		c.procs[0].Obs().Inc(obs.OptEscalations)
+		c.procs[0].Trace(trace.OptEscalate, 0, 0, 0)
 	}
-	return c.scanLocked(lo, hi, limit)
+	out := c.scanLocked(lo, hi, limit)
+	traceOp(c.procs[0], t0, multiShard, trace.KVScan)
+	return out
 }
 
 // scanOptimistic makes MaxOptimistic unlogged whole-store scan
@@ -113,6 +119,7 @@ func (c *Client) scanOptimistic(lo, hi uint64, limit int) ([]set.KV, bool) {
 		}
 		st.optRestarts.Add(1)
 		c.procs[0].Obs().Inc(obs.OptRestarts)
+		c.procs[0].Trace(trace.OptRestart, 0, 0, 0)
 	}
 	return nil, false
 }

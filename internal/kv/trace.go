@@ -1,0 +1,34 @@
+// Flight-recorder spans for KV client operations (DESIGN.md S16). A
+// span is recorded as one event at completion carrying its duration,
+// so the hot path adds a single clock read at entry (and nothing at
+// all while tracing is off).
+
+package kv
+
+import (
+	flock "flock/internal/core"
+	"flock/internal/obs/trace"
+)
+
+// multiShard marks spans of scatter-gather operations that touch every
+// involved shard rather than one routed shard.
+const multiShard = ^uint64(0)
+
+// traceStart opens a KV span: the start timestamp when the flight
+// recorder is on, 0 (the disabled sentinel) otherwise.
+func traceStart() int64 {
+	if trace.On() {
+		return trace.Now()
+	}
+	return 0
+}
+
+// traceOp closes a KV span opened by traceStart, attributed to p. The
+// end-of-span clock read doubles as the record timestamp (TraceAt), so
+// a traced KV op pays exactly two clock reads.
+func traceOp(p *flock.Proc, t0 int64, shard, op uint64) {
+	if t0 != 0 {
+		now := trace.Now()
+		p.TraceAt(trace.KVOp, now, shard, op, uint64(now-t0))
+	}
+}

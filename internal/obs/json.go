@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+)
+
+// nameOrder is the counter index permutation that sorts counterNames
+// alphabetically, computed once: MarshalJSON walks it so the emitted
+// keys are in sorted order regardless of Counter declaration order.
+var nameOrder = func() [NumCounters]int {
+	var ord [NumCounters]int
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord[:], func(a, b int) bool {
+		return counterNames[ord[a]] < counterNames[ord[b]]
+	})
+	return ord
+}()
+
+// MarshalJSON renders the counts as a JSON object with one key per
+// counter, keys in sorted order. Hand-rolled rather than a map so the
+// byte output is stable across runs and Go versions — JSONL lines
+// from -metrics sweeps diff cleanly.
+func (c Counts) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, ci := range nameOrder {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('"')
+		buf.WriteString(counterNames[ci])
+		buf.WriteString(`":`)
+		buf.WriteString(strconv.FormatUint(c[ci], 10))
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// Nonzero returns the counters with nonzero counts, keyed by name —
+// the compact form for logs and /metrics endpoints where most of the
+// counter set is idle. (encoding/json sorts map keys, so marshalling
+// the result is also byte-stable.)
+func (c Counts) Nonzero() map[string]uint64 {
+	out := make(map[string]uint64)
+	for i, v := range c {
+		if v != 0 {
+			out[counterNames[i]] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"flock/internal/obs"
+)
+
+// ChainLink is one helper's involvement in a critical section: it
+// began running the owner's descriptor at TS, stopped at EndTS, and
+// either won the completion claim (Finisher: it is the run that
+// carried the thunk to completion) or replayed work another run had
+// already claimed.
+type ChainLink struct {
+	Helper   uint64
+	TS       int64
+	EndTS    int64 // 0 if the helper's end was not captured
+	Finisher bool
+}
+
+// HelpChain is the reconstructed helping story of one critical-section
+// instance, identified by (Lock, Gen): the owner installed it, zero or
+// more helpers ran it (owner → helper₁ → helper₂ …, ordered by
+// HelpBegin time), and exactly one run — the owner's or a helper's —
+// won the completion claim.
+type HelpChain struct {
+	Lock, Gen, Owner uint64
+	InstallTS        int64
+	ReleaseTS        int64 // 0 if the release was not captured
+	Links            []ChainLink
+	// FinishedBy is the Proc whose run won the completion claim, when
+	// a HelpEnd exhibited it; 0 means no helper finished it (the owner
+	// did, or the finish fell outside the window).
+	FinishedBy uint64
+}
+
+// LockStats is one lock's contention timeline summary.
+type LockStats struct {
+	Lock                          uint64
+	Acquisitions                  uint64 // lock-free installs
+	Blocking                      uint64 // blocking-mode acquisitions
+	HelpBegins, HelpEnds, Replays uint64
+	SpinEpisodes, SpinIters       uint64
+	FirstTS, LastTS               int64
+	// HeldNs sums install→release spans that were both captured.
+	HeldNs int64
+}
+
+// Analysis is the decoded view of a Trace: per-kind totals, helping
+// chains, and per-lock contention summaries.
+type Analysis struct {
+	// Totals counts events by kind.
+	Totals [NumKinds]uint64
+	// ForeignReplays is the subset of Totals[Replay] where the
+	// replaying Proc was not the descriptor's owner (helper runs that
+	// lost the completion claim).
+	ForeignReplays uint64
+	// Chains holds every critical-section instance that attracted at
+	// least one helper, ordered by install time.
+	Chains []HelpChain
+	// Locks summarizes per-lock activity, ordered by first event.
+	Locks []LockStats
+	// Dropped is carried over from the Trace; when nonzero the chains
+	// and conservation laws are best-effort.
+	Dropped uint64
+}
+
+// chainKey identifies a critical-section instance: lock versions
+// advance on every acquire and release, so (lock, generation) never
+// repeats.
+type chainKey struct{ lock, gen uint64 }
+
+// Analyze reconstructs helping chains and per-lock timelines from a
+// stitched trace. Events is assumed time-ordered (as Snapshot returns
+// it).
+func Analyze(t Trace) *Analysis {
+	a := &Analysis{Dropped: t.Dropped}
+	chains := make(map[chainKey]*HelpChain)
+	locks := make(map[uint64]*LockStats)
+	var lockOrder []uint64
+
+	lockOf := func(id uint64) *LockStats {
+		ls := locks[id]
+		if ls == nil {
+			ls = &LockStats{Lock: id}
+			locks[id] = ls
+			lockOrder = append(lockOrder, id)
+		}
+		return ls
+	}
+
+	for _, ev := range t.Events {
+		if ev.Kind < NumKinds {
+			a.Totals[ev.Kind]++
+		}
+		switch ev.Kind {
+		case AcqInstalled:
+			ls := lockOf(ev.Lock)
+			ls.Acquisitions++
+			ls.touch(ev.TS)
+			chains[chainKey{ev.Lock, ev.B}] = &HelpChain{
+				Lock: ev.Lock, Gen: ev.B, Owner: ev.A, InstallTS: ev.TS,
+			}
+		case AcqBlocking:
+			ls := lockOf(ev.Lock)
+			ls.Blocking++
+			ls.touch(ev.TS)
+		case Release:
+			ls := lockOf(ev.Lock)
+			ls.touch(ev.TS)
+			if c := chains[chainKey{ev.Lock, ev.B}]; c != nil && c.ReleaseTS == 0 {
+				c.ReleaseTS = ev.TS
+				if c.InstallTS != 0 && ev.TS > c.InstallTS {
+					ls.HeldNs += ev.TS - c.InstallTS
+				}
+			}
+		case HelpBegin:
+			ls := lockOf(ev.Lock)
+			ls.HelpBegins++
+			ls.touch(ev.TS)
+			c := chains[chainKey{ev.Lock, ev.B}]
+			if c == nil {
+				// The install fell outside the window (or was emitted
+				// by a proc whose ring lapped); synthesize the chain
+				// from the help event's owner attribution.
+				c = &HelpChain{Lock: ev.Lock, Gen: ev.B, Owner: ev.A, InstallTS: ev.TS}
+				chains[chainKey{ev.Lock, ev.B}] = c
+			}
+			c.Links = append(c.Links, ChainLink{Helper: ev.Proc, TS: ev.TS})
+		case HelpEnd:
+			ls := lockOf(ev.Lock)
+			ls.HelpEnds++
+			ls.touch(ev.TS)
+			if c := chains[chainKey{ev.Lock, ev.B}]; c != nil {
+				c.FinishedBy = ev.Proc
+				c.closeLink(ev.Proc, ev.TS, true)
+			}
+		case Replay:
+			if ev.Proc != ev.A {
+				a.ForeignReplays++
+			}
+			if ev.Lock != 0 {
+				ls := lockOf(ev.Lock)
+				ls.Replays++
+				ls.touch(ev.TS)
+			}
+			if c := chains[chainKey{ev.Lock, ev.B}]; c != nil && ev.Proc != ev.A {
+				c.closeLink(ev.Proc, ev.TS, false)
+			}
+		case SpinEpisode:
+			ls := lockOf(ev.Lock)
+			ls.SpinEpisodes++
+			ls.SpinIters += ev.B
+			ls.touch(ev.TS)
+		}
+	}
+
+	for _, c := range chains {
+		if len(c.Links) > 0 {
+			a.Chains = append(a.Chains, *c)
+		}
+	}
+	sort.Slice(a.Chains, func(i, j int) bool {
+		if a.Chains[i].InstallTS != a.Chains[j].InstallTS {
+			return a.Chains[i].InstallTS < a.Chains[j].InstallTS
+		}
+		return a.Chains[i].Gen < a.Chains[j].Gen
+	})
+	for _, id := range lockOrder {
+		a.Locks = append(a.Locks, *locks[id])
+	}
+	sort.Slice(a.Locks, func(i, j int) bool { return a.Locks[i].FirstTS < a.Locks[j].FirstTS })
+	return a
+}
+
+func (ls *LockStats) touch(ts int64) {
+	if ls.FirstTS == 0 || ts < ls.FirstTS {
+		ls.FirstTS = ts
+	}
+	if ts > ls.LastTS {
+		ls.LastTS = ts
+	}
+}
+
+// closeLink records the end of helper's most recent open involvement.
+func (c *HelpChain) closeLink(helper uint64, ts int64, finisher bool) {
+	for i := len(c.Links) - 1; i >= 0; i-- {
+		if c.Links[i].Helper == helper && c.Links[i].EndTS == 0 {
+			c.Links[i].EndTS = ts
+			c.Links[i].Finisher = finisher
+			return
+		}
+	}
+}
+
+// ConservationCheck cross-checks the trace against an obs counter
+// delta taken over the same window (enable both, snapshot counters,
+// run, snapshot counters again, Sub). It returns one message per
+// violated law; an empty slice means every law held:
+//
+//	help_end events   == obs.HelpsGiven       (both count finisher-claim
+//	                                           wins by non-owners)
+//	replay events     == obs.ThunkReplays     (both count lost claims)
+//	acq_installed     == obs.AcquiresLF       (both mark committed
+//	                                           top-level LF acquisitions)
+//	acq_blocking      == obs.AcquiresBlocking
+//	help_begin events == help_end + foreign replay events
+//	                     (every foreign run either wins the claim or
+//	                      replays — a trace-internal law)
+//
+// The laws are only exact on a lossless window: a nonzero drop count
+// makes them best-effort, reported as a violation up front.
+func (a *Analysis) ConservationCheck(d obs.Counts) []string {
+	var bad []string
+	if a.Dropped > 0 {
+		bad = append(bad, fmt.Sprintf("trace dropped %d events; conservation laws are not checkable", a.Dropped))
+		return bad
+	}
+	eq := func(law string, got, want uint64) {
+		if got != want {
+			bad = append(bad, fmt.Sprintf("%s: trace %d != obs %d", law, got, want))
+		}
+	}
+	eq("help_end == helps_given", a.Totals[HelpEnd], d.Get(obs.HelpsGiven))
+	eq("replay == thunk_replays", a.Totals[Replay], d.Get(obs.ThunkReplays))
+	eq("acq_installed == acquires_lf", a.Totals[AcqInstalled], d.Get(obs.AcquiresLF))
+	eq("acq_blocking == acquires_blocking", a.Totals[AcqBlocking], d.Get(obs.AcquiresBlocking))
+	if got, want := a.Totals[HelpBegin], a.Totals[HelpEnd]+a.ForeignReplays; got != want {
+		bad = append(bad, fmt.Sprintf("help_begin == help_end + foreign replays: %d != %d+%d", got, a.Totals[HelpEnd], a.ForeignReplays))
+	}
+	return bad
+}

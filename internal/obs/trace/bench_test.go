@@ -1,0 +1,32 @@
+package trace
+
+import "testing"
+
+// Microbenchmarks for the emission hot path: the clock read, a full
+// Emit (clock + six atomic stores + publish), and EmitAt (caller
+// supplies the timestamp). EXPERIMENTS.md quotes these alongside the
+// end-to-end enabled-overhead measurement.
+
+func BenchmarkNow(b *testing.B) {
+	var s int64
+	for i := 0; i < b.N; i++ {
+		s += Now()
+	}
+	_ = s
+}
+
+func BenchmarkEmit(b *testing.B) {
+	r := NewRing(990)
+	defer r.Release()
+	for i := 0; i < b.N; i++ {
+		r.Emit(AcqStart, 1, 2, 3)
+	}
+}
+
+func BenchmarkEmitAt(b *testing.B) {
+	r := NewRing(991)
+	defer r.Release()
+	for i := 0; i < b.N; i++ {
+		r.EmitAt(AcqStart, 123, 1, 2, 3)
+	}
+}

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"flock/internal/obs"
+)
+
+// TestRingOverwriteAndDrops pins the flight recorder's bounded-memory
+// contract: a full ring overwrites oldest-first, Snapshot returns the
+// newest capacity-many records, and the overwritten ones are counted —
+// not silently lost — in the drop accounting.
+func TestRingOverwriteAndDrops(t *testing.T) {
+	defer SetRingShift(SetRingShift(4)) // 16-record rings
+	Reset()
+	r := NewRing(901)
+	defer r.Release()
+	const n = 40
+	for i := 0; i < n; i++ {
+		r.Emit(AcqStart, uint64(i), 0, 0)
+	}
+	tr := Snapshot()
+	var mine []Event
+	for _, ev := range tr.Events {
+		if ev.Proc == 901 {
+			mine = append(mine, ev)
+		}
+	}
+	if len(mine) != 16 {
+		t.Fatalf("snapshot returned %d events from a 16-slot ring after %d emits, want 16", len(mine), n)
+	}
+	if tr.Dropped != n-16 {
+		t.Fatalf("Dropped = %d, want %d (records overwritten before collection)", tr.Dropped, n-16)
+	}
+	// The survivors are exactly the newest 16, in emission order.
+	for i, ev := range mine {
+		if want := uint64(n - 16 + i); ev.Lock != want || ev.Seq != want {
+			t.Fatalf("event %d: lock=%d seq=%d, want %d", i, ev.Lock, ev.Seq, want)
+		}
+	}
+	if got := Dropped(); got != n-16 {
+		t.Fatalf("Dropped() = %d, want %d", got, n-16)
+	}
+}
+
+// TestResetOpensFreshWindow pins Reset's windowing: events emitted
+// before a Reset neither appear in later snapshots nor count as drops,
+// including overwritten ones.
+func TestResetOpensFreshWindow(t *testing.T) {
+	defer SetRingShift(SetRingShift(4))
+	Reset()
+	r := NewRing(902)
+	defer r.Release()
+	for i := 0; i < 100; i++ { // laps the 16-slot ring several times
+		r.Emit(AcqStart, 0, 0, 0)
+	}
+	Reset()
+	tr := Snapshot()
+	for _, ev := range tr.Events {
+		if ev.Proc == 902 {
+			t.Fatalf("pre-Reset event leaked into the new window: %+v", ev)
+		}
+	}
+	if tr.Dropped != 0 {
+		t.Fatalf("Dropped = %d after Reset, want 0", tr.Dropped)
+	}
+	r.Emit(Release, 7, 8, 9)
+	tr = Snapshot()
+	found := false
+	for _, ev := range tr.Events {
+		if ev.Proc == 902 {
+			if found || ev.Kind != Release || ev.Lock != 7 || ev.A != 8 || ev.B != 9 {
+				t.Fatalf("unexpected post-Reset event %+v", ev)
+			}
+			found = true
+		}
+	}
+	if !found || tr.Dropped != 0 {
+		t.Fatalf("post-Reset emit: found=%v dropped=%d, want true/0", found, tr.Dropped)
+	}
+}
+
+// TestSnapshotRejectsTornRecords pins the seq-validation read protocol:
+// a record whose sequence word does not match its expected absolute
+// index (empty, mid-write, or lapped) is counted dropped, never
+// returned torn.
+func TestSnapshotRejectsTornRecords(t *testing.T) {
+	defer SetRingShift(SetRingShift(4))
+	Reset()
+	r := NewRing(903)
+	defer r.Release()
+	for i := 0; i < 8; i++ {
+		r.Emit(HelpEnd, uint64(i), 0, 0)
+	}
+	// Simulate a writer caught mid-slot: seq zeroed (the first store of
+	// Emit) but head already claimed.
+	r.buf[3].seq.Store(0)
+	tr := Snapshot()
+	var mine []Event
+	for _, ev := range tr.Events {
+		if ev.Proc == 903 {
+			mine = append(mine, ev)
+		}
+	}
+	if len(mine) != 7 {
+		t.Fatalf("got %d events, want 7 (slot 3 invalidated)", len(mine))
+	}
+	for _, ev := range mine {
+		if ev.Seq == 3 {
+			t.Fatalf("invalidated record returned: %+v", ev)
+		}
+	}
+	if tr.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", tr.Dropped)
+	}
+}
+
+// TestSnapshotOrdersAcrossRings pins the stitching order: one stream,
+// sorted by timestamp, with each writer's own events in emission order.
+func TestSnapshotOrdersAcrossRings(t *testing.T) {
+	Reset()
+	r1, r2 := NewRing(904), NewRing(905)
+	defer r1.Release()
+	defer r2.Release()
+	for i := 0; i < 50; i++ { // interleave emitters
+		r1.Emit(AcqStart, uint64(i), 0, 0)
+		r2.Emit(Release, uint64(i), 0, 0)
+	}
+	tr := Snapshot()
+	var evs []Event
+	for _, ev := range tr.Events {
+		if ev.Proc == 904 || ev.Proc == 905 {
+			evs = append(evs, ev)
+		}
+	}
+	if len(evs) != 100 {
+		t.Fatalf("got %d events, want 100", len(evs))
+	}
+	if !sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS }) {
+		t.Fatal("snapshot events not time-ordered")
+	}
+	last := map[uint64]uint64{}
+	for _, ev := range evs {
+		if prev, ok := last[ev.Proc]; ok && ev.Seq <= prev {
+			t.Fatalf("proc %d events out of emission order: seq %d after %d", ev.Proc, ev.Seq, prev)
+		}
+		last[ev.Proc] = ev.Seq
+	}
+}
+
+// synthetic builds the canonical helped critical section: proc 1
+// installs gen 5 on lock 0xA0, proc 2 helps and wins the finisher
+// claim, proc 1's own run replays, proc 2 physically releases.
+func synthetic() Trace {
+	return Trace{Events: []Event{
+		{TS: 100, Kind: AcqInstalled, Proc: 1, Lock: 0xA0, A: 1, B: 5},
+		{TS: 110, Kind: HelpBegin, Proc: 2, Lock: 0xA0, A: 1, B: 5},
+		{TS: 140, Kind: HelpEnd, Proc: 2, Lock: 0xA0, A: 1, B: 5},
+		{TS: 145, Kind: Replay, Proc: 1, Lock: 0xA0, A: 1, B: 5},
+		{TS: 150, Kind: Release, Proc: 2, Lock: 0xA0, A: 1, B: 5},
+	}}
+}
+
+// TestAnalyzeReconstructsHelpChain pins the analyzer on a synthetic
+// helped critical section, including the conservation cross-check
+// against a matching (and then a broken) obs delta.
+func TestAnalyzeReconstructsHelpChain(t *testing.T) {
+	a := Analyze(synthetic())
+	if len(a.Chains) != 1 {
+		t.Fatalf("got %d chains, want 1", len(a.Chains))
+	}
+	c := a.Chains[0]
+	if c.Lock != 0xA0 || c.Gen != 5 || c.Owner != 1 {
+		t.Fatalf("chain identity = %+v", c)
+	}
+	if c.InstallTS != 100 || c.ReleaseTS != 150 {
+		t.Fatalf("chain window = [%d, %d], want [100, 150]", c.InstallTS, c.ReleaseTS)
+	}
+	if c.FinishedBy != 2 {
+		t.Fatalf("FinishedBy = %d, want helper 2", c.FinishedBy)
+	}
+	if len(c.Links) != 1 || c.Links[0].Helper != 2 || !c.Links[0].Finisher ||
+		c.Links[0].TS != 110 || c.Links[0].EndTS != 140 {
+		t.Fatalf("links = %+v", c.Links)
+	}
+	if len(a.Locks) != 1 || a.Locks[0].Acquisitions != 1 || a.Locks[0].HeldNs != 50 {
+		t.Fatalf("lock stats = %+v", a.Locks)
+	}
+	if a.ForeignReplays != 0 {
+		t.Fatalf("ForeignReplays = %d, want 0 (the replay was the owner's own run)", a.ForeignReplays)
+	}
+
+	var d obs.Counts
+	d[obs.AcquiresLF] = 1
+	d[obs.HelpsGiven] = 1
+	d[obs.ThunkReplays] = 1
+	if bad := a.ConservationCheck(d); len(bad) != 0 {
+		t.Fatalf("conservation violated on matching delta: %v", bad)
+	}
+	d[obs.HelpsGiven] = 2 // now the counters claim a help the trace never saw
+	if bad := a.ConservationCheck(d); len(bad) == 0 {
+		t.Fatal("conservation check accepted a mismatched obs delta")
+	}
+}
+
+// TestExportChromeShape pins the exporter's structural contract: valid
+// JSON, per-proc thread_name tracks, a cs span on the owner track, a
+// help span on the helper track, and a matched s/f flow pair for the
+// hand-off.
+func TestExportChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, synthetic()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v", err)
+	}
+	tracks := map[float64]bool{}
+	var csTid, helpTid float64 = -1, -1
+	var flowS, flowF []map[string]any
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "thread_name" {
+				tracks[ev["tid"].(float64)] = true
+			}
+		case "X":
+			switch ev["cat"] {
+			case "cs":
+				csTid = ev["tid"].(float64)
+			case "help":
+				helpTid = ev["tid"].(float64)
+			}
+		case "s":
+			flowS = append(flowS, ev)
+		case "f":
+			flowF = append(flowF, ev)
+		}
+	}
+	if !tracks[1] || !tracks[2] {
+		t.Fatalf("missing per-proc thread_name tracks: %v", tracks)
+	}
+	if csTid != 1 {
+		t.Fatalf("cs span on tid %v, want owner track 1", csTid)
+	}
+	if helpTid != 2 {
+		t.Fatalf("help span on tid %v, want helper track 2", helpTid)
+	}
+	if len(flowS) != 1 || len(flowF) != 1 {
+		t.Fatalf("flow events s=%d f=%d, want 1/1", len(flowS), len(flowF))
+	}
+	if flowS[0]["id"] != flowF[0]["id"] {
+		t.Fatalf("flow pair ids differ: %v vs %v", flowS[0]["id"], flowF[0]["id"])
+	}
+	if flowS[0]["tid"].(float64) != 1 || flowF[0]["tid"].(float64) != 2 {
+		t.Fatalf("flow arrow runs %v -> %v, want owner 1 -> helper 2", flowS[0]["tid"], flowF[0]["tid"])
+	}
+}
+
+// TestEmitAllocs pins the enabled hot path at zero allocations per
+// recorded event (the ring is preallocated; Emit is six atomic stores
+// and a clock read).
+func TestEmitAllocs(t *testing.T) {
+	Reset()
+	r := NewRing(906)
+	defer r.Release()
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Emit(AcqInstalled, 0xBEEF, 1, 2)
+	}); n != 0 {
+		t.Fatalf("Ring.Emit allocates %v/op, want 0", n)
+	}
+}
+
+// TestKindNamesComplete pins that every kind has a name (exporters key
+// on them).
+func TestKindNamesComplete(t *testing.T) {
+	for k := KindNone; k < NumKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

@@ -57,6 +57,7 @@ import (
 	flock "flock/internal/core"
 	"flock/internal/kv"
 	"flock/internal/obs"
+	"flock/internal/obs/trace"
 	"flock/internal/workload"
 )
 
@@ -269,6 +270,19 @@ func (c *Client) backoff(attempt int) {
 // replays keep the thunk-determinism rules.
 func (c *Client) atomically(shards []int, mkBody func() func(hp *flock.Proc)) {
 	track := obs.On()
+	var t0 int64
+	if trace.On() {
+		t0 = trace.Now()
+	}
+	commit := func(attempt int) {
+		if t0 != 0 {
+			// TxnSpan packs the lock-chain depth with the attempt count
+			// (1-based) and carries the whole acquire-to-commit duration.
+			a := uint64(len(shards))&0xffff | uint64(attempt+1)<<16
+			now := trace.Now()
+			c.p.TraceAt(trace.TxnSpan, now, 0, a, uint64(now-t0))
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		// A fresh body per attempt: a straggler replaying a *failed*
 		// published attempt must find that attempt's buffers, not the
@@ -288,9 +302,11 @@ func (c *Client) atomically(shards []int, mkBody func() func(hp *flock.Proc)) {
 				if foreign.Load() {
 					c.p.Obs().Inc(obs.TxnHelped)
 				}
+				commit(attempt)
 				return
 			}
 		} else if c.acquireSorted(shards, body) {
+			commit(attempt)
 			return
 		}
 		c.backoff(attempt)
