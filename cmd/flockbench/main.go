@@ -54,6 +54,15 @@
 //	flockbench -structure leaftree -txn transfer -shards 8 -threads 16
 //	flockbench -structure leaftree -txn ycsbt -txnsize 8 -nonatomic
 //
+// The snapshot extension (DESIGN.md S17) — epoch-consistent whole-store
+// snapshots iterated by a background loop while the transfer storm
+// runs. The "+snap" arms report the loop's cycle count and key rate in
+// a dedicated table section (`:snap_*` CSV columns, `snap_*` JSON
+// fields); comparing Mop/s against the loop-free arms reads out the
+// slowdown concurrent snapshots impose on writers:
+//
+//	flockbench -figure ext-snap
+//
 // Enumerate every figure id with its series names (and the structure
 // registry) without running anything:
 //
@@ -120,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("flockbench", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	var (
-		figure    = flags.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-alloc, ext-help, ext-txn, ext-txn-keys, ext-ycsb-{a,b,c,e,f,shards}, or 'all')")
+		figure    = flags.String("figure", "", "figure id to regenerate (fig4, fig5a..fig5h, fig6a, fig6b, fig7a, fig7b, ext-stall, ext-alloc, ext-help, ext-snap, ext-txn, ext-txn-keys, ext-ycsb-{a,b,c,e,f,shards}, or 'all')")
 		series    = flags.String("series", "", "comma-separated series-name filter for -figure (default: all series)")
 		list      = flags.Bool("list", false, "list figure ids with their series names, and structures")
 		csv       = flags.Bool("csv", false, "emit CSV instead of a table")
@@ -419,6 +428,10 @@ type pointRecord struct {
 	// variation), always measured.
 	FairMaxMin float64 `json:"fair_maxmin"`
 	FairCoV    float64 `json:"fair_cov"`
+	// Background snapshot-loop progress (ext-snap's "+snap" arms);
+	// omitted for series without the loop.
+	SnapCycles     uint64  `json:"snap_cycles,omitempty"`
+	SnapKeysPerSec float64 `json:"snap_keys_per_sec,omitempty"`
 	// Metrics is the obs runtime-metrics summary, present only when the
 	// point was measured with -metrics (or by a figure like ext-help
 	// that forces collection).
@@ -441,6 +454,7 @@ func printFigureJSON(w io.Writer, fig harness.Figure) {
 			P50ns: pt.P50.Nanoseconds(), P95ns: pt.P95.Nanoseconds(), P99ns: pt.P99.Nanoseconds(),
 			OptRestarts: pt.OptRestarts, OptEscalations: pt.OptEscalations,
 			FairMaxMin: pt.FairMaxMin, FairCoV: pt.FairCoV,
+			SnapCycles: pt.SnapCycles, SnapKeysPerSec: pt.SnapKeysPerSec,
 			Metrics: pt.Metrics,
 		})
 	}
@@ -507,6 +521,15 @@ func printFigure(w io.Writer, fig harness.Figure, csv bool) {
 			break
 		}
 	}
+	// Any point with snapshot-loop progress turns on the snapshot
+	// section (ext-snap's "+snap" arms).
+	haveSnaps := false
+	for _, pt := range fig.Points {
+		if pt.SnapCycles > 0 {
+			haveSnaps = true
+			break
+		}
+	}
 
 	if csv {
 		// Mops columns first (one per series), then per-series latency
@@ -520,6 +543,11 @@ func printFigure(w io.Writer, fig harness.Figure, csv bool) {
 		}
 		for _, s := range seriesNames {
 			header = append(header, s+":allocs")
+		}
+		if haveSnaps {
+			for _, s := range seriesNames {
+				header = append(header, s+":snap_cycles", s+":snap_keys_per_sec")
+			}
 		}
 		if haveMetrics {
 			for _, s := range seriesNames {
@@ -543,6 +571,14 @@ func printFigure(w io.Writer, fig harness.Figure, csv bool) {
 			}
 			for _, s := range seriesNames {
 				row = append(row, fmt.Sprintf("%.2f", vals[[2]string{s, x}].Allocs))
+			}
+			if haveSnaps {
+				for _, s := range seriesNames {
+					pt := vals[[2]string{s, x}]
+					row = append(row,
+						fmt.Sprintf("%d", pt.SnapCycles),
+						fmt.Sprintf("%.0f", pt.SnapKeysPerSec))
+				}
 			}
 			if haveMetrics {
 				for _, s := range seriesNames {
@@ -611,6 +647,27 @@ func printFigure(w io.Writer, fig harness.Figure, csv bool) {
 			fmt.Fprintf(w, " %*.2f", cw, vals[[2]string{s, x}].Allocs)
 		}
 		fmt.Fprintln(w)
+	}
+	if haveSnaps {
+		// The snapshot loop's progress: series without the loop show "-"
+		// (their Mops column is the loop-free control).
+		fmt.Fprintf(w, "%-12s", "")
+		for _, s := range seriesNames {
+			fmt.Fprintf(w, " %*s", cw, s)
+		}
+		fmt.Fprintln(w, " (snap cycles : keys/s)")
+		for _, x := range xs {
+			fmt.Fprintf(w, "%-12s", x)
+			for _, s := range seriesNames {
+				pt := vals[[2]string{s, x}]
+				cell := "-"
+				if pt.SnapCycles > 0 {
+					cell = fmt.Sprintf("%d:%.0f", pt.SnapCycles, pt.SnapKeysPerSec)
+				}
+				fmt.Fprintf(w, " %*s", cw, cell)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	if !haveMetrics {
 		return

@@ -187,6 +187,14 @@ func (p *Proc) advanceBlock(blk *logBlock) *logBlock {
 	return next
 }
 
+// CommitPtr is the typed pointer commit for user code whose runs must
+// agree on a pointer read from an unlogged location (the KV layer's
+// snapshot registry is the motivating case): the pointer lands in the
+// log slot directly — no logEntry box — so first runs and replays both
+// allocate nothing. It returns the committed pointer and whether the
+// caller was first. Outside a thunk it returns (v, true).
+func CommitPtr[T any](p *Proc, v *T) (*T, bool) { return commitPtr(p, v) }
+
 // Commit exposes commitValue for user code that must agree on a
 // non-deterministic value across helpers (the paper's example is a value
 // derived from processor noise; a practical one is a random level or

@@ -279,6 +279,11 @@ func (p *Proc) maybeStall() {
 	}
 }
 
+// Jitter draws from the Proc's private splitmix64 stream, for backoff
+// jitter in layers that retry composed acquisitions (internal/kv/engine).
+// Like rand64 it must never be used inside thunks (it is not committed).
+func (p *Proc) Jitter() uint64 { return p.rand64() }
+
 // rand64 is a splitmix64 step over the Proc's private state; used for
 // backoff jitter. Never used inside thunks (it is not committed).
 func (p *Proc) rand64() uint64 {

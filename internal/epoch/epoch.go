@@ -47,8 +47,14 @@ type Manager struct {
 	// scans during TryAdvance are lock-free. Registration is rare.
 	slots atomic.Pointer[[]*Slot]
 
-	mu      sync.Mutex // serializes Register/Unregister
+	mu      sync.Mutex // serializes Register/Unregister and pin bookkeeping
 	orphans []batch    // retired batches from unregistered slots
+
+	// pins holds the live reclamation pins (Pin); minPinned caches the
+	// minimum pinned epoch (Quiescent when none) so SafeBefore stays one
+	// atomic load on the hot reclaim/reuse paths.
+	pins      []*Pin
+	minPinned atomic.Uint64
 }
 
 // batch is a group of deferred reclamation callbacks retired in one epoch.
@@ -78,6 +84,7 @@ type Slot struct {
 func NewManager() *Manager {
 	m := &Manager{}
 	m.global.Store(2)
+	m.minPinned.Store(Quiescent)
 	empty := make([]*Slot, 0)
 	m.slots.Store(&empty)
 	return m
@@ -247,14 +254,78 @@ func (m *Manager) TryAdvance() bool {
 // entered after the global epoch passed r, hence after the unlink that
 // preceded the retire, so they can never have found the object. With no
 // active guards, everything retired before the current epoch is safe.
-// Exported so the flock core can gate pooled object reuse on the same
-// grace period that gates reclamation (its DESIGN.md S10 invariant).
+// Live pins (Pin) lower the bound the same way an announced guard would,
+// without blocking epoch advancement. Exported so the flock core can
+// gate pooled object reuse on the same grace period that gates
+// reclamation (its DESIGN.md S10 invariant).
 func (m *Manager) SafeBefore() uint64 {
 	min := m.minAnnounced()
+	if p := m.minPinned.Load(); p < min {
+		min = p
+	}
 	if min == Quiescent {
 		return m.global.Load()
 	}
 	return min
+}
+
+// Pin is a long-lived reclamation bound: while it is live, objects
+// retired at or after its epoch are neither reclaimed nor reused, yet —
+// unlike a held guard — the global epoch keeps advancing, so short-lived
+// operations around the pin reclaim their own garbage normally. Pins
+// back long readers (kv snapshots) that dip in and out of guards over
+// their lifetime: each chunk read is guard-protected on its own, and the
+// pin keeps pooled-object reuse from crossing the reader's whole window.
+type Pin struct {
+	mgr      *Manager
+	epoch    uint64
+	released bool // guarded by mgr.mu
+}
+
+// Pin takes a reclamation pin at the current global epoch. Release it
+// exactly once; pins are expected to be rare and long-lived (snapshot
+// lifetimes, not operation lifetimes).
+func (m *Manager) Pin() *Pin {
+	m.mu.Lock()
+	p := &Pin{mgr: m, epoch: m.global.Load()}
+	m.pins = append(m.pins, p)
+	if p.epoch < m.minPinned.Load() {
+		m.minPinned.Store(p.epoch)
+	}
+	m.mu.Unlock()
+	return p
+}
+
+// Epoch returns the epoch the pin holds the reclamation bound at.
+func (p *Pin) Epoch() uint64 { return p.epoch }
+
+// Release drops the pin, letting the reclamation bound advance past its
+// epoch. Releasing an already-released pin is a no-op.
+func (p *Pin) Release() {
+	m := p.mgr
+	m.mu.Lock()
+	if p.released {
+		m.mu.Unlock()
+		return
+	}
+	p.released = true
+	next := m.pins[:0]
+	min := Quiescent
+	for _, q := range m.pins {
+		if q == p {
+			continue
+		}
+		next = append(next, q)
+		if q.epoch < min {
+			min = q.epoch
+		}
+	}
+	if n := len(next); n < len(m.pins) {
+		m.pins[n] = nil // drop the released pin's reference
+	}
+	m.pins = next
+	m.minPinned.Store(min)
+	m.mu.Unlock()
 }
 
 // reclaim runs the slot's ripe batches.

@@ -444,3 +444,67 @@ func TestMetricsAdvanceAndReclaimCounters(t *testing.T) {
 	q.Unregister()
 	s.Unregister()
 }
+
+func TestPinHoldsReclaimWithoutBlockingAdvance(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	defer s.Unregister()
+
+	pin := m.Pin()
+	ran := false
+	s.Enter()
+	s.Retire(func() { ran = true })
+	s.Exit()
+
+	// The pin must not block epoch advancement...
+	g0 := m.GlobalEpoch()
+	for i := 0; i < 4; i++ {
+		if !m.TryAdvance() {
+			t.Fatalf("TryAdvance blocked by a pin (global=%d)", m.GlobalEpoch())
+		}
+	}
+	if m.GlobalEpoch() != g0+4 {
+		t.Fatalf("global epoch = %d, want %d", m.GlobalEpoch(), g0+4)
+	}
+	// ...but it must hold the reclamation bound at its epoch.
+	if got := m.SafeBefore(); got > pin.Epoch() {
+		t.Fatalf("SafeBefore = %d while pinned at %d", got, pin.Epoch())
+	}
+	s.Drain()
+	if ran {
+		t.Fatal("retired callback ran while a pin held its epoch")
+	}
+
+	pin.Release()
+	pin.Release() // double release is a no-op
+	s.Drain()
+	if !ran {
+		t.Fatal("retired callback did not run after the pin was released")
+	}
+}
+
+func TestPinMinimumAcrossPins(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	defer s.Unregister()
+
+	p1 := m.Pin()
+	for i := 0; i < 3; i++ {
+		m.TryAdvance()
+	}
+	p2 := m.Pin()
+	if p2.Epoch() <= p1.Epoch() {
+		t.Fatalf("later pin epoch %d not above earlier %d", p2.Epoch(), p1.Epoch())
+	}
+	if got := m.SafeBefore(); got > p1.Epoch() {
+		t.Fatalf("SafeBefore = %d, want <= oldest pin %d", got, p1.Epoch())
+	}
+	p1.Release()
+	if got := m.SafeBefore(); got > p2.Epoch() {
+		t.Fatalf("SafeBefore = %d after oldest release, want <= %d", got, p2.Epoch())
+	}
+	p2.Release()
+	if got := m.SafeBefore(); got != m.GlobalEpoch() {
+		t.Fatalf("SafeBefore = %d with no pins or guards, want global %d", got, m.GlobalEpoch())
+	}
+}

@@ -72,6 +72,9 @@ type Series struct {
 	// arm (kv/optimistic.go); only meaningful for YCSB/txn series over
 	// structures that implement the optimistic capability interfaces.
 	Optimistic bool
+	// SnapshotLoop runs the background whole-store snapshot loop beside
+	// the measured workload (Spec.SnapshotLoop; ext-snap's "+snap" arms).
+	SnapshotLoop bool
 }
 
 // Point is one measured figure point, with tail-latency percentiles and
@@ -93,6 +96,11 @@ type Point struct {
 	// harness.fairness); always populated.
 	FairMaxMin float64
 	FairCoV    float64
+	// Background snapshot-loop progress: completed whole-store
+	// iterations and iterated keys per second (zero unless the series
+	// set SnapshotLoop; the ext-snap figure's second payload).
+	SnapCycles     uint64
+	SnapKeysPerSec float64
 	// Metrics carries the obs runtime-metrics summary; nil unless the
 	// point was measured with Spec.Metrics (Scale.Metrics or a figure
 	// that forces it).
@@ -609,6 +617,30 @@ func figSpecs() []FigureSpec {
 			return sp
 		},
 	})
+	// Extension: epoch-consistent whole-store snapshots (DESIGN.md S17).
+	// The foreground is the transfer storm of ext-txn; the "+snap" arms
+	// additionally run the background snapshot loop. Two readouts per
+	// point: Mops (the writers' throughput — compare with the loop-free
+	// arm for the slowdown snapshots impose) and SnapKeysPerSec (how
+	// fast a consistent whole-store iteration proceeds under the storm),
+	// for composed lock-free vs blocking shard locks.
+	specs = append(specs, FigureSpec{
+		ID:     "ext-snap",
+		Paper:  "Extension: whole-store snapshots under a transfer storm — writer slowdown and snapshot scan rate, thread sweep",
+		XLabel: "threads",
+		Series: []Series{
+			{Name: "txn-leaftree-lf", Structure: "leaftree"},
+			{Name: "txn-leaftree-lf+snap", Structure: "leaftree", SnapshotLoop: true},
+			{Name: "txn-leaftree-bl", Structure: "leaftree", Blocking: true},
+			{Name: "txn-leaftree-bl+snap", Structure: "leaftree", Blocking: true, SnapshotLoop: true},
+		},
+		Xs: threadsXs,
+		SpecFor: func(sc Scale, s Series, x string) Spec {
+			sp := txnSpec(sc, s, "transfer", atoi(x), 2)
+			sp.SnapshotLoop = s.SnapshotLoop
+			return sp
+		},
+	})
 	specs = append(specs, FigureSpec{
 		ID:     "ext-ycsb-shards",
 		Paper:  "Extension: YCSB-A on the KV store, oversubscribed threads, zipfian 0.99, shard sweep",
@@ -661,6 +693,7 @@ func RunFigure(fs FigureSpec, sc Scale) (Figure, error) {
 				P50:    st.P50, P95: st.P95, P99: st.P99,
 				OptRestarts: st.OptRestarts, OptEscalations: st.OptEscalations,
 				FairMaxMin: st.FairMaxMin, FairCoV: st.FairCoV,
+				SnapCycles: st.SnapCycles, SnapKeysPerSec: st.SnapKeysPerSec,
 				Metrics: st.PointMetrics(),
 			})
 		}

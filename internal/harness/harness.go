@@ -157,6 +157,17 @@ type Spec struct {
 	// without the set.OptimisticReader capability is refused up front,
 	// like the Scannable gate. Ignored when YCSB and TxnMix are empty.
 	Optimistic bool
+	// SnapshotLoop runs a dedicated background goroutine alongside the
+	// measured workload that repeatedly takes a whole-store snapshot
+	// (kv.Store.Snapshot), iterates it fully and closes it, for the
+	// duration of the window (transactional path only). The measured
+	// Mops is still the foreground workload's — the snapshot loop's
+	// progress is reported separately (Result.SnapCycles/SnapKeys) — so
+	// comparing a series with and without the loop reads out the
+	// concurrent-writer slowdown snapshots impose, and the loop's key
+	// rate reads out snapshot scan throughput under the write storm.
+	// Requires a scannable structure; refused up front otherwise.
+	SnapshotLoop bool
 	// Metrics enables the obs runtime-metrics layer for the measured
 	// window: measure() flips the obs flag on around the window (and
 	// restores it after), snapshots counters at the window edges, and
@@ -239,6 +250,12 @@ type Result struct {
 	// starved threads fall behind.
 	FairMaxMin float64
 	FairCoV    float64
+	// SnapCycles and SnapKeys count the background snapshot loop's
+	// completed whole-store iterations and total iterated keys (zero
+	// unless Spec.SnapshotLoop; the loop always completes at least one
+	// cycle, so a scannable spec reporting 0 cycles is a bug).
+	SnapCycles uint64
+	SnapKeys   uint64
 	// Metrics holds the obs counter deltas, time series and per-shard op
 	// counts for the window; nil unless Spec.Metrics was set.
 	Metrics *MetricsWindow
@@ -564,8 +581,39 @@ func runTimedTxn(spec Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if spec.SnapshotLoop && !st.KV().Scannable() {
+		return Result{}, fmt.Errorf("harness: snapshot loop requested but structure %q does not implement set.Scanner (ordered snapshots need ordered scans)",
+			spec.Structure)
+	}
 	PrefillKV(st.KV(), spec)
 	st.SetStallInjection(spec.StallEvery)
+
+	// The snapshot loop runs beside the measured workload: snapshot,
+	// iterate fully, close, repeat. The stop flag is checked only after
+	// a completed cycle so even the shortest window measures at least
+	// one whole-store iteration. Worker setup outside the window is
+	// microseconds, so counting the loop against Result.Elapsed is fair.
+	var snapCycles, snapKeys uint64
+	var snapStop atomic.Bool
+	var snapWG sync.WaitGroup
+	if spec.SnapshotLoop {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				sn := st.KV().Snapshot()
+				sn.Iterate(0, math.MaxUint64, func(_, _ uint64) bool {
+					snapKeys++
+					return true
+				})
+				sn.Close()
+				snapCycles++
+				if snapStop.Load() {
+					return
+				}
+			}
+		}()
+	}
 
 	r0, e0 := st.KV().OptimisticStats()
 	so0 := st.KV().ShardOps()
@@ -589,6 +637,11 @@ func runTimedTxn(spec Spec) (Result, error) {
 		}
 		return n, nil
 	})
+	if spec.SnapshotLoop {
+		snapStop.Store(true)
+		snapWG.Wait()
+		res.SnapCycles, res.SnapKeys = snapCycles, snapKeys
+	}
 	if err == nil {
 		r1, e1 := st.KV().OptimisticStats()
 		res.OptRestarts, res.OptEscalations = r1-r0, e1-e0
@@ -788,6 +841,11 @@ type Stats struct {
 	// over the measured repetitions (Result doc).
 	FairMaxMin float64
 	FairCoV    float64
+	// SnapCycles totals the background snapshot loop's whole-store
+	// iterations across the measured repetitions; SnapKeysPerSec is the
+	// loop's mean iterated-key rate (zero unless Spec.SnapshotLoop).
+	SnapCycles     uint64
+	SnapKeysPerSec float64
 	// Metrics aggregates the obs windows of the measured repetitions
 	// (counter deltas and shard ops summed; time series from the last
 	// repetition); nil unless Spec.Metrics was set.
@@ -826,6 +884,10 @@ func RunStats(spec Spec, warmup, repeats int) (Stats, error) {
 		st.OptEscalations += r.OptEscalations
 		st.FairMaxMin += r.FairMaxMin
 		st.FairCoV += r.FairCoV
+		st.SnapCycles += r.SnapCycles
+		if r.Elapsed > 0 {
+			st.SnapKeysPerSec += float64(r.SnapKeys) / r.Elapsed.Seconds()
+		}
 		if r.Metrics != nil {
 			if st.Metrics == nil {
 				st.Metrics = &MetricsWindow{}
@@ -841,6 +903,7 @@ func RunStats(spec Spec, warmup, repeats int) (Stats, error) {
 	st.AllocsPerOp = allocs / float64(repeats)
 	st.FairMaxMin /= float64(repeats)
 	st.FairCoV /= float64(repeats)
+	st.SnapKeysPerSec /= float64(repeats)
 	for _, v := range vals {
 		st.Mops += v
 	}

@@ -87,16 +87,17 @@ func TestYCSBKVPath(t *testing.T) {
 
 // TestScanWorkloadNeedsOrderedStructure: YCSB-E over a structure
 // without set.Scanner must be refused up front with an explanatory
-// error, not panic mid-run.
+// error, not panic mid-run. (The hashtable no longer serves as the
+// refusal case: it scans via a sorted bucket sweep now.)
 func TestScanWorkloadNeedsOrderedStructure(t *testing.T) {
-	_, err := NewKVInstance(Spec{Structure: "hashtable", Threads: 1, KeyRange: 64,
+	_, err := NewKVInstance(Spec{Structure: "arttree", Threads: 1, KeyRange: 64,
 		Duration: time.Millisecond, YCSB: "e", Shards: 2})
 	if err == nil {
-		t.Fatalf("scan-bearing mix over an unordered structure accepted")
+		t.Fatalf("scan-bearing mix over a scanless structure accepted")
 	}
-	// The ordered structures (and olcart, the baseline arm) must pass
+	// The scannable structures (and olcart, the baseline arm) must pass
 	// the same gate.
-	for _, s := range []string{"leaftree", "abtree", "olcart"} {
+	for _, s := range []string{"leaftree", "abtree", "hashtable", "olcart"} {
 		if _, err := NewKVInstance(Spec{Structure: s, Threads: 1, KeyRange: 64,
 			Duration: time.Millisecond, YCSB: "e", Shards: 2}); err != nil {
 			t.Fatalf("%s refused for YCSB-E: %v", s, err)
@@ -269,12 +270,36 @@ func TestOptimisticSpecWiring(t *testing.T) {
 	}
 }
 
+// TestSnapshotLoopReported pins the ext-snap plumbing: a SnapshotLoop
+// spec reports the background loop's progress (at least one completed
+// whole-store cycle, even on a tiny window), and requesting the loop
+// over a structure without ordered scans is refused up front.
+func TestSnapshotLoopReported(t *testing.T) {
+	res, err := RunTimed(Spec{Structure: "leaftree", Threads: 2, KeyRange: 256,
+		Alpha: 0.75, Duration: 5 * time.Millisecond, Seed: 7,
+		TxnMix: "transfer", TxnSize: 2, Shards: 2, SnapshotLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapCycles < 1 || res.SnapKeys == 0 {
+		t.Fatalf("snapshot loop reported %d cycles / %d keys, want >= 1 cycle", res.SnapCycles, res.SnapKeys)
+	}
+	if res.Ops == 0 {
+		t.Fatal("foreground workload made no progress under the snapshot loop")
+	}
+	if _, err := RunTimed(Spec{Structure: "arttree", Threads: 1, KeyRange: 64,
+		Duration: time.Millisecond, TxnMix: "transfer", TxnSize: 2, Shards: 2,
+		SnapshotLoop: true}); err == nil {
+		t.Fatal("snapshot loop over a scanless structure not refused")
+	}
+}
+
 func TestFigureIndexComplete(t *testing.T) {
 	figs := Figures()
 	want := []string{"fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
 		"fig5f", "fig5g", "fig5h", "fig6a", "fig6b", "fig7a", "fig7b", "ext-stall",
-		"ext-alloc", "ext-help", "ext-txn", "ext-txn-keys", "ext-ycsb-a", "ext-ycsb-b",
-		"ext-ycsb-c", "ext-ycsb-e", "ext-ycsb-f", "ext-ycsb-shards"}
+		"ext-alloc", "ext-help", "ext-snap", "ext-txn", "ext-txn-keys", "ext-ycsb-a",
+		"ext-ycsb-b", "ext-ycsb-c", "ext-ycsb-e", "ext-ycsb-f", "ext-ycsb-shards"}
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures, want %d", len(figs), len(want))
 	}

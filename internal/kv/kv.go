@@ -23,9 +23,11 @@
 package kv
 
 import (
+	"sync"
 	"sync/atomic"
 
 	flock "flock/internal/core"
+	"flock/internal/kv/engine"
 	"flock/internal/obs"
 	"flock/internal/obs/trace"
 	"flock/internal/structures/set"
@@ -99,6 +101,18 @@ type Store struct {
 	optGet  bool           // OptimisticReads requested and Find arm capable
 	optScan bool           // OptimisticReads requested and Scan arm capable
 	rt      *flock.Runtime // non-nil iff Options.SharedRuntime
+	// eng executes every multi-shard operation: lock nesting, retry
+	// loops, the optimistic version-vector arm, and their obs/trace
+	// accounting all live there (internal/kv/engine, DESIGN.md S17).
+	eng *engine.Engine
+	// snaps is the live-snapshot registry (snapshot.go): an immutable
+	// COW list the write paths consult to record pre-images. nil when no
+	// snapshot is active, so the write-side check is one atomic load.
+	// Every transition installs a freshly allocated snapList inside a
+	// brief all-shard locked section (the activation cut); snapMu
+	// serializes the administrative transitions themselves.
+	snaps  atomic.Pointer[snapList]
+	snapMu sync.Mutex
 	// clients counts live handles (monitoring/tests only).
 	clients atomic.Int64
 	// Optimistic-read counters: failed attempts (lock busy or version
@@ -162,8 +176,24 @@ func New(f Factory, opt Options) *Store {
 		}
 		st.shards[i] = shard{rt: rt, s: s, up: up, sc: sc, or: or, osc: osc}
 	}
+	locks := make([]*flock.Lock, n)
+	rts := make([]*flock.Runtime, n)
+	for i := range st.shards {
+		locks[i] = &st.shards[i].lck
+		rts[i] = st.shards[i].rt
+	}
+	st.eng = engine.New(engine.Config{
+		Locks: locks, Runtimes: rts, Shared: st.rt, Route: st.ShardOf,
+		Restarts: &st.optRestarts, Escalations: &st.optEscalations,
+	})
 	return st
 }
+
+// Engine exposes the store's shard-group execution engine. The
+// transaction layer runs its composed commit sections and footprint
+// planning through it; most callers want the higher-level Client and
+// Store methods instead.
+func (st *Store) Engine() *engine.Engine { return st.eng }
 
 // OptimisticReads reports whether Get and MultiGet run the optimistic
 // unlogged arm (Options.OptimisticReads was set and the structure
@@ -328,7 +358,7 @@ func (c *Client) Get(k uint64) (uint64, bool) {
 	var v uint64
 	var ok bool
 	if c.st.optGet && !p.InThunk() {
-		v, ok = c.optimisticGet(sh, p, k)
+		v, ok = c.optimisticGet(sh, p, i, k)
 	} else {
 		v, ok = sh.s.Find(p, k)
 	}
@@ -360,6 +390,7 @@ func put(sh *shard, p *flock.Proc, k, v uint64) (inserted bool) {
 func (c *Client) Put(k, v uint64) bool {
 	t0 := traceStart()
 	i, sh, p := c.route(k)
+	c.st.snapRecord(p, i, k)
 	r := put(sh, p, k, v)
 	traceOp(p, t0, uint64(i), trace.KVPut)
 	return r
@@ -382,11 +413,13 @@ func (st *Store) ShardGet(i int, p *flock.Proc, k uint64) (uint64, bool) {
 // deterministic across helper runs (it flows from logged loads), which
 // is what lets transactions publish insert counts idempotently.
 func (st *Store) ShardPut(i int, p *flock.Proc, k, v uint64) bool {
+	st.snapRecord(p, i, k)
 	return put(&st.shards[i], p, k, v)
 }
 
 // ShardDelete removes k on shard i with Proc p.
 func (st *Store) ShardDelete(i int, p *flock.Proc, k uint64) bool {
+	st.snapRecord(p, i, k)
 	return st.shards[i].s.Delete(p, k)
 }
 
@@ -394,6 +427,7 @@ func (st *Store) ShardDelete(i int, p *flock.Proc, k uint64) bool {
 func (c *Client) Delete(k uint64) bool {
 	t0 := traceStart()
 	i, sh, p := c.route(k)
+	c.st.snapRecord(p, i, k)
 	r := sh.s.Delete(p, k)
 	traceOp(p, t0, uint64(i), trace.KVDelete)
 	return r
@@ -407,6 +441,7 @@ func (c *Client) Delete(k uint64) bool {
 func (c *Client) ReadModifyWrite(k uint64, f func(old uint64, present bool) uint64) (uint64, bool) {
 	t0 := traceStart()
 	i, sh, p := c.route(k)
+	c.st.snapRecord(p, i, k)
 	v, ok := rmw(sh, p, k, f)
 	traceOp(p, t0, uint64(i), trace.KVRMW)
 	return v, ok
@@ -438,8 +473,8 @@ func rmw(sh *shard, p *flock.Proc, k uint64, f func(old uint64, present bool) ui
 
 // byShard visits keys grouped by shard (all of shard 0's keys, then
 // shard 1's, ...) so each shard's structure is walked consecutively.
-// visit receives the original index of each key.
-func (c *Client) byShard(keys []uint64, visit func(i int, sh *shard, p *flock.Proc)) {
+// visit receives the original index of each key and its shard index.
+func (c *Client) byShard(keys []uint64, visit func(i, s int, sh *shard, p *flock.Proc)) {
 	n := len(c.st.shards)
 	if n == 1 {
 		sh, p := &c.st.shards[0], c.procs[0]
@@ -447,7 +482,7 @@ func (c *Client) byShard(keys []uint64, visit func(i int, sh *shard, p *flock.Pr
 			c.ops[0] += uint64(len(keys))
 		}
 		for i := range keys {
-			visit(i, sh, p)
+			visit(i, 0, sh, p)
 		}
 		return
 	}
@@ -475,7 +510,7 @@ func (c *Client) byShard(keys []uint64, visit func(i int, sh *shard, p *flock.Pr
 		if track {
 			c.ops[s]++
 		}
-		visit(i, &c.st.shards[s], c.procs[s])
+		visit(i, s, &c.st.shards[s], c.procs[s])
 	}
 }
 
@@ -485,7 +520,7 @@ func (c *Client) GetBatch(keys []uint64) (vals []uint64, oks []bool) {
 	t0 := traceStart()
 	vals = make([]uint64, len(keys))
 	oks = make([]bool, len(keys))
-	c.byShard(keys, func(i int, sh *shard, p *flock.Proc) {
+	c.byShard(keys, func(i, _ int, sh *shard, p *flock.Proc) {
 		vals[i], oks[i] = sh.s.Find(p, keys[i])
 	})
 	traceOp(c.procs[0], t0, multiShard, trace.KVGet)
@@ -500,7 +535,8 @@ func (c *Client) PutBatch(keys, vals []uint64) int {
 	}
 	t0 := traceStart()
 	inserted := 0
-	c.byShard(keys, func(i int, sh *shard, p *flock.Proc) {
+	c.byShard(keys, func(i, s int, sh *shard, p *flock.Proc) {
+		c.st.snapRecord(p, s, keys[i])
 		if put(sh, p, keys[i], vals[i]) {
 			inserted++
 		}
@@ -513,7 +549,8 @@ func (c *Client) PutBatch(keys, vals []uint64) int {
 func (c *Client) DeleteBatch(keys []uint64) int {
 	t0 := traceStart()
 	deleted := 0
-	c.byShard(keys, func(i int, sh *shard, p *flock.Proc) {
+	c.byShard(keys, func(i, s int, sh *shard, p *flock.Proc) {
+		c.st.snapRecord(p, s, keys[i])
 		if sh.s.Delete(p, keys[i]) {
 			deleted++
 		}

@@ -218,15 +218,24 @@ func TestScanSentinelBoundsAndLimit(t *testing.T) {
 	}
 }
 
-// TestScannableDetection: ordered structures report Scannable and scan;
-// unordered ones report false and Scan panics.
+// TestScannableDetection: structures with a Scan report Scannable
+// (including hashtable, whose sorted bucket sweep implements it);
+// structures without one report false and Scan panics.
 func TestScannableDetection(t *testing.T) {
 	if !kv.New(leaftreeFactory, kv.Options{Shards: 2}).Scannable() {
 		t.Fatalf("leaftree store should be scannable")
 	}
-	st := kv.New(hashtableFactory, kv.Options{Shards: 2})
+	if !kv.New(hashtableFactory, kv.Options{Shards: 2}).Scannable() {
+		t.Fatalf("hashtable store should be scannable")
+	}
+	// A capability-stripped wrapper: the embedded interface exposes only
+	// set.Set, so the store must detect the missing Scanner.
+	bare := func(rt *flock.Runtime, keyRange uint64) set.Set {
+		return struct{ set.Set }{leaftree.New(rt)}
+	}
+	st := kv.New(bare, kv.Options{Shards: 2})
 	if st.Scannable() {
-		t.Fatalf("hashtable store should not be scannable")
+		t.Fatalf("capability-stripped store should not be scannable")
 	}
 	c := st.Register()
 	defer c.Close()

@@ -8,15 +8,11 @@
 // section (a transaction, an escalated scan) overlapped the read.
 // Multi-shard operations (MultiGet, Scan) read a version vector over
 // every involved shard before touching data and validate the whole
-// vector after: transactions acquire their shard locks in ascending
-// order nested (first acquired is last released), so any transaction
-// whose effect a read observed on one shard must still have been
-// holding — or already bumped — every earlier shard's lock when the
-// vector was read or validated, and a cross-shard torn observation
-// always fails validation. Whole-operation restart, with escalation to
-// the ordinary logged path under the shard locks after MaxOptimistic
-// failed attempts, mirrors the core combinator (flock.OptimisticRead)
-// and the olcart baseline.
+// vector after — the engine's optimistic arm (internal/kv/engine,
+// DESIGN.md S17) owns that protocol, the bounded restarts, and the
+// escalation to the logged path under the shard locks after
+// MaxOptimistic failed attempts; this file only supplies each
+// operation's data loads and result publication.
 
 package kv
 
@@ -24,36 +20,18 @@ import (
 	"sync/atomic"
 
 	flock "flock/internal/core"
-	"flock/internal/obs"
+	"flock/internal/kv/engine"
 	"flock/internal/obs/trace"
 )
 
-// optimisticGet is Get's unlogged arm: seqlock-validated OptimisticFind
-// with a hand-rolled retry loop (no closures — the validated hot path
-// stays allocation-free). The epoch guard spans ReadVersion through
-// Validate so the lock-word box cannot be recycled mid-inspection.
-func (c *Client) optimisticGet(sh *shard, p *flock.Proc, k uint64) (uint64, bool) {
-	p.Begin()
-	for attempt := sh.rt.MaxOptimistic(); attempt > 0; attempt-- {
-		if ver, ok := sh.lck.ReadVersion(); ok {
-			v, found := sh.or.OptimisticFind(p, k)
-			if sh.lck.Validate(ver) {
-				p.End()
-				return v, found
-			}
-		}
-		// The store counters are always on (the harness diffs them around
-		// windows); the obs block mirrors them into the gated metrics
-		// layer so snapshots attribute restarts to workers, and the
-		// flight recorder mirrors them as timeline events.
-		c.st.optRestarts.Add(1)
-		p.Obs().Inc(obs.OptRestarts)
-		p.Trace(trace.OptRestart, 0, 0, 0)
+// optimisticGet is Get's unlogged arm: the engine's single-shard
+// validated lookup (closure-free — the validated hot path stays
+// allocation-free), completed under the shard lock when every attempt
+// failed validation.
+func (c *Client) optimisticGet(sh *shard, p *flock.Proc, i int, k uint64) (uint64, bool) {
+	if v, found, validated := c.st.eng.OptimisticFind(p, i, sh.or, k); validated {
+		return v, found
 	}
-	p.End()
-	c.st.optEscalations.Add(1)
-	p.Obs().Inc(obs.OptEscalations)
-	p.Trace(trace.OptEscalate, 0, 0, 0)
 	return c.escalatedGet(sh, p, k)
 }
 
@@ -79,38 +57,16 @@ func (c *Client) escalatedGet(sh *shard, p *flock.Proc, k uint64) (uint64, bool)
 	return val.Load(), ok.Load() == 1
 }
 
-// beginAll enters an epoch guard on every runtime the client touches
-// (one guard on a shared-runtime store); endAll exits them.
-func (c *Client) beginAll() {
-	if c.st.rt != nil {
-		c.procs[0].Begin()
-		return
-	}
-	for _, p := range c.procs {
-		p.Begin()
-	}
-}
-
-func (c *Client) endAll() {
-	if c.st.rt != nil {
-		c.procs[0].End()
-		return
-	}
-	for _, p := range c.procs {
-		p.End()
-	}
-}
-
 // MultiGet looks up every key, filling vals and oks (freshly allocated,
 // len(keys) each). Unlike GetBatch — independent per-key lookups with
 // no mutual consistency — MultiGet is an atomic multi-key read on
 // stores where the shard locks serialize writers (transactional
-// shared-runtime stores): the optimistic arm validates a version vector
-// over every involved shard around the reads, and the escalated arm
-// takes all involved shard locks in one composed critical section. It
-// backs internal/txn's read-only MultiGet fast path. Without
-// Options.OptimisticReads (or a capable structure) it degrades to
-// GetBatch semantics.
+// shared-runtime stores): the engine's optimistic arm validates a
+// version vector over every involved shard around the reads, and the
+// escalated arm takes all involved shard locks in one composed critical
+// section. It backs internal/txn's read-only MultiGet fast path.
+// Without Options.OptimisticReads (or a capable structure) it degrades
+// to GetBatch semantics.
 func (c *Client) MultiGet(keys []uint64) (vals []uint64, oks []bool) {
 	if !c.st.optGet || c.procs[0].InThunk() {
 		return c.GetBatch(keys)
@@ -123,116 +79,71 @@ func (c *Client) MultiGet(keys []uint64) (vals []uint64, oks []bool) {
 		return vals, oks
 	}
 	st := c.st
-	// Involved shards, ascending and duplicate-free (the lock-nesting
-	// order), and each key's shard.
-	shardOf := make([]int, len(keys))
-	seen := make([]bool, len(st.shards))
-	involved := make([]int, 0, len(st.shards))
-	for i, k := range keys {
-		s := st.ShardOf(k)
-		shardOf[i] = s
-		seen[s] = true
-	}
-	for s := range seen {
-		if seen[s] {
-			involved = append(involved, s)
-		}
-	}
+	// The operation's footprint: each key's shard and the involved
+	// group, ascending and duplicate-free (the lock-nesting order).
+	shardOf := st.eng.ShardIndices(keys)
+	involved := st.eng.Group(nil, shardOf)
 
-	vers := make([]uint64, len(involved))
-	max := st.shards[involved[0]].rt.MaxOptimistic()
-attempts:
-	for attempt := 0; attempt < max; attempt++ {
-		c.beginAll()
-		// Version vector first, data loads second, validation last: see
-		// the package comment for why this ordering (with the
-		// transaction layer's ascending-nested locking) makes a
-		// validated result a cross-shard atomic snapshot.
-		for j, s := range involved {
-			v, ok := st.shards[s].lck.ReadVersion()
-			if !ok {
-				c.endAll()
-				st.optRestarts.Add(1)
-				c.procs[0].Obs().Inc(obs.OptRestarts)
-				c.procs[0].Trace(trace.OptRestart, 0, 0, 0)
-				continue attempts
-			}
-			vers[j] = v
-		}
+	ok := st.eng.OptimisticGroup(c.procs, involved, func() {
 		for i, k := range keys {
 			s := shardOf[i]
 			vals[i], oks[i] = st.shards[s].or.OptimisticFind(c.procs[s], k)
 		}
-		for j, s := range involved {
-			if !st.shards[s].lck.Validate(vers[j]) {
-				c.endAll()
-				st.optRestarts.Add(1)
-				c.procs[0].Obs().Inc(obs.OptRestarts)
-				c.procs[0].Trace(trace.OptRestart, 0, 0, 0)
-				continue attempts
-			}
-		}
-		c.endAll()
+	})
+	if ok {
 		return vals, oks
 	}
-	st.optEscalations.Add(1)
-	c.procs[0].Obs().Inc(obs.OptEscalations)
-	c.procs[0].Trace(trace.OptEscalate, 0, 0, 0)
 	return c.escalatedMultiGet(keys, shardOf, involved, vals, oks)
 }
 
-// escalatedMultiGet reads every key under the involved shard locks. On
-// a shared-runtime store all locks are taken in one composed critical
-// section (atomic with respect to transactions); on a per-shard-runtime
-// store locks cannot compose across runtimes, so each shard is read
-// under its own lock in ascending order (per-shard atomicity, which is
-// all such stores ever promise — they run no transactions). Results are
-// published through atomics: helper runs recompute identical values
-// from logged loads, so the stores are idempotent.
+// escalatedMultiGet reads every key under the involved shard locks via
+// the engine's locked arm: one composed critical section over all
+// involved shards on a shared-runtime store (atomic with respect to
+// transactions), ascending per-shard sections otherwise (per-shard
+// atomicity, which is all such stores ever promise — they run no
+// transactions). Results are published through per-attempt atomics:
+// helper runs recompute identical values from logged loads, so the
+// stores are idempotent.
 func (c *Client) escalatedMultiGet(keys []uint64, shardOf, involved []int, vals []uint64, oks []bool) ([]uint64, []bool) {
 	st := c.st
-	bufV := make([]atomic.Uint64, len(keys))
-	bufOK := make([]atomic.Uint32, len(keys))
-	readShard := func(hp *flock.Proc, s int) {
-		for i, k := range keys {
-			if shardOf[i] != s {
-				continue
-			}
-			v, found := st.shards[s].s.Find(hp, k)
-			bufV[i].Store(v)
-			if found {
-				bufOK[i].Store(1)
-			}
-		}
-	}
-	if st.rt != nil {
-		for attempt := 0; ; attempt++ {
-			ok := st.NestShardLocks(c.procs[0], involved, func(hp *flock.Proc) {
-				for _, s := range involved {
-					readShard(hp, s)
+	st.eng.Locked(c.procs, involved, func(s int) engine.Attempt {
+		bufV := make([]atomic.Uint64, len(keys))
+		bufOK := make([]atomic.Uint32, len(keys))
+		readShard := func(hp *flock.Proc, s int) {
+			for i, k := range keys {
+				if shardOf[i] != s {
+					continue
 				}
-			})
-			if ok {
-				break
-			}
-			scanBackoff(attempt)
-		}
-	} else {
-		for _, s := range involved {
-			for attempt := 0; ; attempt++ {
-				ok := st.NestShardLocks(c.procs[s], []int{s}, func(hp *flock.Proc) {
-					readShard(hp, s)
-				})
-				if ok {
-					break
+				v, found := st.shards[s].s.Find(hp, k)
+				bufV[i].Store(v)
+				if found {
+					bufOK[i].Store(1)
 				}
-				scanBackoff(attempt)
 			}
 		}
-	}
-	for i := range keys {
-		vals[i] = bufV[i].Load()
-		oks[i] = bufOK[i].Load() == 1
-	}
+		commit := func(s int) {
+			for i := range keys {
+				if s >= 0 && shardOf[i] != s {
+					continue
+				}
+				vals[i] = bufV[i].Load()
+				oks[i] = bufOK[i].Load() == 1
+			}
+		}
+		if s < 0 {
+			return engine.Attempt{
+				Body: func(hp *flock.Proc) {
+					for _, sh := range involved {
+						readShard(hp, sh)
+					}
+				},
+				Commit: func() { commit(-1) },
+			}
+		}
+		return engine.Attempt{
+			Body:   func(hp *flock.Proc) { readShard(hp, s) },
+			Commit: func() { commit(s) },
+		}
+	})
 	return vals, oks
 }

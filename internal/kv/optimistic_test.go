@@ -25,7 +25,7 @@ func TestOptimisticCapabilityGate(t *testing.T) {
 	}{
 		{"leaftree", leaftreeFactory, true, true},
 		{"lazylist", lazylistFactory, true, true},
-		{"hashtable", hashtableFactory, true, false}, // unordered: no scans at all
+		{"hashtable", hashtableFactory, true, true}, // unordered, but scans via sorted bucket sweep
 	}
 	for _, tc := range cases {
 		st := kv.New(tc.f, kv.Options{Shards: 2, OptimisticReads: true})

@@ -3,17 +3,18 @@
 // shard's ordered structure is scanned under that shard's lock — locks
 // acquired in ascending shard order, the transaction layer's nesting
 // protocol — and the per-shard sorted runs are merged by key up to the
-// limit. See DESIGN.md S12.
+// limit. The nesting, retry and version-vector machinery lives in
+// internal/kv/engine (DESIGN.md S17); this file only routes the scan
+// through the engine's arms and merges the runs. See DESIGN.md S12.
 
 package kv
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
 
 	flock "flock/internal/core"
-	"flock/internal/obs"
+	"flock/internal/kv/engine"
 	"flock/internal/obs/trace"
 	"flock/internal/structures/set"
 )
@@ -23,40 +24,13 @@ import (
 func (st *Store) Scannable() bool { return st.scan }
 
 // NestShardLocks runs body inside a composed critical section holding
-// every listed shard lock, nesting TryLock calls in ascending order.
-// This is the transaction protocol's acquisition step (DESIGN.md S11),
-// owned here so internal/txn and the scan path share one
-// implementation: the sort order makes acquisition deadlock-free, and
-// in lock-free mode a thread that finds a shard lock held helps the
-// holder's entire composed critical section before reporting failure.
-// It reports false when any acquisition failed (the caller retries with
-// a fresh body); shards must be sorted ascending and duplicate-free.
-// body runs on whichever Proc executes the innermost thunk and must
-// publish its results idempotently (DESIGN.md S7/S11); p must belong to
-// the runtime that owns every listed shard (with Options.SharedRuntime,
-// any registered Proc).
+// every listed shard lock, nesting TryLock calls in ascending order —
+// the transaction protocol's acquisition step (DESIGN.md S11). It is a
+// thin delegate to the store's execution engine (engine.Engine.Nest),
+// kept on Store because it is the public composition point callers
+// outside the kv/txn pair use.
 func (st *Store) NestShardLocks(p *flock.Proc, shards []int, body func(hp *flock.Proc)) bool {
-	p.Begin()
-	defer p.End()
-	var nest func(hp *flock.Proc, i int) bool
-	nest = func(hp *flock.Proc, i int) bool {
-		if i == len(shards) {
-			body(hp)
-			return true
-		}
-		return st.shards[shards[i]].lck.TryLock(hp, func(hp2 *flock.Proc) bool {
-			return nest(hp2, i+1)
-		})
-	}
-	return nest(p, 0)
-}
-
-// scanBackoff paces shard-lock retries (helping already happened inside
-// the failed TryLock, so a short yield is all that is useful).
-func scanBackoff(attempt int) {
-	if attempt >= 2 {
-		runtime.Gosched()
-	}
+	return st.eng.Nest(p, shards, body)
 }
 
 // Scan returns up to limit key-value pairs with lo <= key <= hi, merged
@@ -64,21 +38,19 @@ func scanBackoff(attempt int) {
 // limit 0 yields an empty result; 0 and MaxUint64 are the open-interval
 // bound sentinels, see set.ClampScanBounds). With
 // Options.OptimisticReads (and a capable structure) the scan first runs
-// the optimistic arm — unlogged per-shard scans validated against a
-// version vector over every shard lock, whole-operation restart on any
-// failure (see optimistic.go) — and escalates to the locked path after
-// MaxOptimistic failed attempts. On the locked path each shard
+// the engine's optimistic arm — unlogged per-shard scans validated
+// against a version vector over every shard lock, whole-operation
+// restart on any failure — and escalates to the locked arm after
+// MaxOptimistic failed attempts. On the locked arm each shard
 // contributes a run collected by the structure's scan thunk while that
-// shard's lock is held. On a shared-runtime store all shard locks are
-// held at once (one composed critical section, so the scan is atomic
-// with respect to multi-key transactions — as is a validated optimistic
-// scan, per the version-vector argument); on a per-shard-runtime store
-// the locked path scans one shard at a time in ascending order, each
-// under its own lock, giving the structures' interval semantics shard
-// by shard. Plain single-key Client operations never take shard locks,
-// so the result is weakly consistent with respect to them either way:
-// every returned pair was present, and every missing in-range key
-// absent, at some instant during the scan.
+// shard's lock is held: one composed critical section over all shards
+// on a shared-runtime store (so the scan is atomic with respect to
+// multi-key transactions — as is a validated optimistic scan, per the
+// version-vector argument), ascending one-shard sections on a
+// per-shard-runtime store. Plain single-key Client operations never
+// take shard locks, so the result is weakly consistent with respect to
+// them either way: every returned pair was present, and every missing
+// in-range key absent, at some instant during the scan.
 //
 // Scan panics if the store's structure does not implement set.Scanner
 // (see Scannable).
@@ -92,160 +64,51 @@ func (c *Client) Scan(lo, hi uint64, limit int) []set.KV {
 	}
 	t0 := traceStart()
 	if st.optScan && !c.procs[0].InThunk() {
-		if out, ok := c.scanOptimistic(lo, hi, limit); ok {
+		parts := make([][]set.KV, len(st.shards))
+		ok := st.eng.OptimisticGroup(c.procs, st.eng.AllShards(), func() {
+			for i := range st.shards {
+				parts[i] = st.shards[i].osc.OptimisticScan(c.procs[i], lo, hi, limit)
+			}
+		})
+		if ok {
 			traceOp(c.procs[0], t0, multiShard, trace.KVScan)
-			return out
+			return engine.MergeRuns(parts, limit)
 		}
-		st.optEscalations.Add(1)
-		c.procs[0].Obs().Inc(obs.OptEscalations)
-		c.procs[0].Trace(trace.OptEscalate, 0, 0, 0)
 	}
 	out := c.scanLocked(lo, hi, limit)
 	traceOp(c.procs[0], t0, multiShard, trace.KVScan)
 	return out
 }
 
-// scanOptimistic makes MaxOptimistic unlogged whole-store scan
-// attempts; ok=false means every attempt failed validation and the
-// caller must escalate to the locked path.
-func (c *Client) scanOptimistic(lo, hi uint64, limit int) ([]set.KV, bool) {
-	st := c.st
-	vers := make([]uint64, len(st.shards))
-	parts := make([][]set.KV, len(st.shards))
-	max := st.shards[0].rt.MaxOptimistic()
-	for attempt := 0; attempt < max; attempt++ {
-		if c.scanAttempt(lo, hi, limit, vers, parts) {
-			return mergeRuns(parts, limit), true
-		}
-		st.optRestarts.Add(1)
-		c.procs[0].Obs().Inc(obs.OptRestarts)
-		c.procs[0].Trace(trace.OptRestart, 0, 0, 0)
-	}
-	return nil, false
-}
-
-// scanAttempt is one optimistic pass: version vector first, unlogged
-// per-shard scans second, validation of the whole vector last (see
-// optimistic.go's package comment for why this ordering makes a
-// validated result atomic with respect to transactions). Partial
-// results of a failed attempt are discarded by the caller.
-func (c *Client) scanAttempt(lo, hi uint64, limit int, vers []uint64, parts [][]set.KV) bool {
-	st := c.st
-	c.beginAll()
-	defer c.endAll()
-	for i := range st.shards {
-		v, ok := st.shards[i].lck.ReadVersion()
-		if !ok {
-			return false
-		}
-		vers[i] = v
-	}
-	for i := range st.shards {
-		parts[i] = st.shards[i].osc.OptimisticScan(c.procs[i], lo, hi, limit)
-	}
-	for i := range st.shards {
-		if !st.shards[i].lck.Validate(vers[i]) {
-			return false
-		}
-	}
-	return true
-}
-
-// scanLocked is the logged path: per-shard scan thunks under the shard
-// locks (see Scan).
+// scanLocked is the logged arm: per-shard scan thunks under the shard
+// locks, routed through the engine (see Scan for the composed vs
+// per-shard split).
 func (c *Client) scanLocked(lo, hi uint64, limit int) []set.KV {
 	st := c.st
 	parts := make([][]set.KV, len(st.shards))
-	if st.rt != nil {
-		// Shared runtime: one composed critical section over all shards.
-		shards := make([]int, len(st.shards))
-		for i := range shards {
-			shards[i] = i
-		}
-		for attempt := 0; ; attempt++ {
-			// A fresh buffer per attempt: a straggling helper replaying a
-			// failed attempt must publish into that attempt's buffer, not
-			// a later one's (DESIGN.md S11).
+	st.eng.Locked(c.procs, st.eng.AllShards(), func(s int) engine.Attempt {
+		if s < 0 {
+			// Composed: one body scans every shard, publishing the runs
+			// through a per-attempt buffer (idempotently: every run
+			// recomputes identical runs from logged loads).
 			buf := &atomic.Pointer[[][]set.KV]{}
-			ok := st.NestShardLocks(c.procs[0], shards, func(hp *flock.Proc) {
-				// Run-local collection, idempotently published: every run
-				// recomputes identical runs from logged loads.
-				out := make([][]set.KV, len(st.shards))
-				for i := range st.shards {
-					out[i] = st.shards[i].sc.Scan(hp, lo, hi, limit)
-				}
-				buf.Store(&out)
-			})
-			if ok {
-				parts = *buf.Load()
-				break
-			}
-			scanBackoff(attempt)
-		}
-	} else {
-		// Per-shard runtimes: ascending one-shard critical sections.
-		for i := range st.shards {
-			sh, p := &st.shards[i], c.procs[i]
-			for attempt := 0; ; attempt++ {
-				buf := &atomic.Pointer[[]set.KV]{}
-				ok := st.NestShardLocks(p, []int{i}, func(hp *flock.Proc) {
-					out := sh.sc.Scan(hp, lo, hi, limit)
+			return engine.Attempt{
+				Body: func(hp *flock.Proc) {
+					out := make([][]set.KV, len(st.shards))
+					for i := range st.shards {
+						out[i] = st.shards[i].sc.Scan(hp, lo, hi, limit)
+					}
 					buf.Store(&out)
-				})
-				if ok {
-					parts[i] = *buf.Load()
-					break
-				}
-				scanBackoff(attempt)
+				},
+				Commit: func() { parts = *buf.Load() },
 			}
 		}
-	}
-	return mergeRuns(parts, limit)
-}
-
-// mergeRuns merges sorted per-shard runs into one ascending result of
-// at most limit pairs (limit < 0 unbounded, 0 empty). Shard routing
-// partitions the key space, so no key appears in two runs.
-func mergeRuns(parts [][]set.KV, limit int) []set.KV {
-	if limit == 0 {
-		return nil
-	}
-	total := 0
-	nonEmpty := 0
-	for _, r := range parts {
-		total += len(r)
-		if len(r) > 0 {
-			nonEmpty++
+		sh := &st.shards[s]
+		buf := &atomic.Pointer[[]set.KV]{}
+		return engine.Attempt{
+			Body:   func(hp *flock.Proc) { out := sh.sc.Scan(hp, lo, hi, limit); buf.Store(&out) },
+			Commit: func() { parts[s] = *buf.Load() },
 		}
-	}
-	if nonEmpty <= 1 {
-		for _, r := range parts {
-			if len(r) > 0 {
-				if limit > 0 && len(r) > limit {
-					r = r[:limit]
-				}
-				return r
-			}
-		}
-		return nil
-	}
-	if limit < 0 || limit > total {
-		limit = total
-	}
-	out := make([]set.KV, 0, limit)
-	idx := make([]int, len(parts))
-	for len(out) < limit {
-		best := -1
-		for i, r := range parts {
-			if idx[i] < len(r) && (best == -1 || r[idx[i]].Key < parts[best][idx[best]].Key) {
-				best = i
-			}
-		}
-		if best == -1 {
-			break
-		}
-		out = append(out, parts[best][idx[best]])
-		idx[best]++
-	}
-	return out
+	})
+	return engine.MergeRuns(parts, limit)
 }

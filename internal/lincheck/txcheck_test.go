@@ -169,6 +169,40 @@ func TestCheckTxTable(t *testing.T) {
 	}
 }
 
+// TestCheckTxSnapshotObservation models a whole-store snapshot the way
+// txntest records one: a single read-only transaction observing every
+// key in the universe, absent keys included. The snapshot must
+// correspond to one serialization point — a mixed state (one
+// transfer's debit without its credit) or a phantom key (present in
+// the snapshot but absent at every reachable state) has no witness.
+func TestCheckTxSnapshotObservation(t *testing.T) {
+	// a=10, b=0 seeded; one transfer of 4 from a to b overlaps the
+	// snapshots. Key 3 is never written.
+	base := []TxOp{
+		{Writes: writes(1, 10, 2, 0), Start: 1, End: 2},
+		{Reads: robs(1, 10, 2, 0), Writes: writes(1, 6, 2, 4), Start: 3, End: 8},
+	}
+	snap := func(obs ...KVObs) []TxOp {
+		return append(append([]TxOp(nil), base...), TxOp{Reads: obs, Start: 4, End: 9})
+	}
+	pre := append(robs(1, 10, 2, 0), absent(3)...)
+	post := append(robs(1, 6, 2, 4), absent(3)...)
+	torn := append(robs(1, 6, 2, 0), absent(3)...)
+	phantom := append(robs(1, 10, 2, 0), robs(3, 77)...)
+	if res := CheckTx(snap(pre...)); !res.Ok {
+		t.Fatalf("pre-transfer snapshot rejected: %v", res)
+	}
+	if res := CheckTx(snap(post...)); !res.Ok {
+		t.Fatalf("post-transfer snapshot rejected: %v", res)
+	}
+	if res := CheckTx(snap(torn...)); res.Ok {
+		t.Fatal("snapshot observing a torn transfer (debit without credit) accepted")
+	}
+	if res := CheckTx(snap(phantom...)); res.Ok {
+		t.Fatal("snapshot observing a phantom key accepted")
+	}
+}
+
 // TestCheckTxUndoRestoresState exercises the DFS backtracking: a
 // history whose first serialization guess must fail and be undone
 // before the witness is found.

@@ -8,9 +8,11 @@ package hashtable
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	flock "flock/internal/core"
+	"flock/internal/structures/set"
 )
 
 // node is one chain link. The head node of each bucket is a sentinel that
@@ -198,6 +200,50 @@ func (t *Table) Upsert(p *flock.Proc, k uint64, f func(old uint64, present bool)
 			return 0, false
 		}
 	}
+}
+
+// Scan implements set.Scanner on the unordered table: every chain is
+// walked once, in-range live pairs are collected run-locally, and the
+// result is sorted by key before the limit is applied (qualifying keys
+// are scattered across buckets, so an unordered structure cannot
+// early-exit on limit). The body keeps Scanner's thunk contract —
+// logged loads only, run-local accumulation, no locks taken — so it can
+// run at top level (weak interval consistency) or nested under the KV
+// layer's shard locks. The cost is O(buckets + hits·log hits) rather
+// than the trees' output-proportional walks; the table exists for
+// point-op throughput, and its scan consumers (the snapshot iterator,
+// conserved-sum audits) accept the full sweep.
+func (t *Table) Scan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	lo, hi = set.ClampScanBounds(lo, hi)
+	if limit == 0 || lo > hi {
+		return nil
+	}
+	p.Begin()
+	defer p.End()
+	var out []set.KV
+	for i := range t.buckets {
+		for c := t.buckets[i].next.Load(p); c != nil; c = c.next.Load(p) {
+			if c.k >= lo && c.k <= hi && !c.removed.Load(p) {
+				out = append(out, set.KV{Key: c.k, Value: c.v.Load(p)})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// OptimisticScan implements set.OptimisticScanner; like OptimisticFind,
+// the bucket sweep is store-free with run-local accumulation, so at top
+// level it is already unlogged and this method only asserts the
+// top-level contract.
+func (t *Table) OptimisticScan(p *flock.Proc, lo, hi uint64, limit int) []set.KV {
+	if p.InThunk() {
+		panic("hashtable: OptimisticScan inside a thunk")
+	}
+	return t.Scan(p, lo, hi, limit)
 }
 
 // Size counts all elements (single-threaded use).

@@ -103,6 +103,70 @@ type OptimisticScanner interface {
 	OptimisticScan(p *flock.Proc, lo, hi uint64, limit int) []KV
 }
 
+// Cursor resumes a range scan over a Scanner in bounded chunks: each
+// Next call scans [Pos(), hi] with the chunk size as the limit, then
+// advances past the last returned key. Chunked iteration trades the
+// single Scan's one-interval consistency for bounded critical sections
+// — each chunk is individually consistent under Scanner's interval
+// contract, but keys read in different chunks may be observed at
+// different instants, and a key that moves across the cursor position
+// between chunks can be missed or seen twice at a boundary only if it
+// was deleted and reinserted there. The KV snapshot iterator
+// (internal/kv) builds on exactly this, repairing the fuzziness with
+// its pre-image overlay.
+type Cursor struct {
+	sc   Scanner
+	next uint64 // inclusive lower bound of the next chunk
+	hi   uint64 // inclusive upper bound, already clamped
+	done bool
+}
+
+// NewCursor positions a cursor over [lo, hi] on sc (bounds are clamped
+// like Scan's; the open-interval sentinels 0 and MaxUint64 are safe).
+func NewCursor(sc Scanner, lo, hi uint64) *Cursor {
+	lo, hi = ClampScanBounds(lo, hi)
+	return &Cursor{sc: sc, next: lo, hi: hi, done: lo > hi}
+}
+
+// Done reports whether the interval is exhausted.
+func (c *Cursor) Done() bool { return c.done }
+
+// Pos returns the inclusive lower bound of the next chunk. Callers that
+// fetch a chunk out-of-band (an optimistic validated scan, a scan under
+// a lock) scan [Pos(), hi] themselves and feed the run to Advance.
+func (c *Cursor) Pos() uint64 { return c.next }
+
+// Hi returns the cursor's inclusive (clamped) upper bound.
+func (c *Cursor) Hi() uint64 { return c.hi }
+
+// Next returns the next chunk of at most chunk pairs (chunk must be
+// positive), or nil once the interval is exhausted.
+func (c *Cursor) Next(p *flock.Proc, chunk int) []KV {
+	if c.done || chunk <= 0 {
+		return nil
+	}
+	run := c.sc.Scan(p, c.next, c.hi, chunk)
+	c.Advance(run, chunk)
+	return run
+}
+
+// Advance moves the cursor past a chunk of size limit chunk obtained
+// from scanning [Pos(), Hi()] — the bookkeeping half of Next, exposed
+// for out-of-band chunk fetches. A short run means the interval is
+// exhausted (Scan returns everything in range up to the limit).
+func (c *Cursor) Advance(run []KV, chunk int) {
+	if len(run) < chunk {
+		c.done = true
+		return
+	}
+	last := run[len(run)-1].Key
+	if last >= c.hi {
+		c.done = true
+		return
+	}
+	c.next = last + 1
+}
+
 // Upserter is optionally implemented by sets that can apply an atomic
 // upsert inside a single critical section: the key ends up present with
 // value f(old, present) in one linearization point, with no transient

@@ -81,6 +81,7 @@ func Run(t *testing.T, f Factory) {
 				t.Run("ScanModel", func(t *testing.T) { scanModel(t, f, m.Blocking) })
 				t.Run("ScanSentinelBounds", func(t *testing.T) { scanSentinelBounds(t, f, m.Blocking) })
 				t.Run("ScanLimitZero", func(t *testing.T) { scanLimitZero(t, f, m.Blocking) })
+				t.Run("CursorEquivalence", func(t *testing.T) { cursorEquivalence(t, f, m.Blocking) })
 				t.Run("ScanConcurrentDifferential", func(t *testing.T) { scanConcurrentDifferential(t, f, m.Blocking, false) })
 				t.Run("ScanLinearizable", func(t *testing.T) { scanLinearizable(t, f, m.Blocking, false) })
 			}
@@ -633,6 +634,67 @@ func scanSentinelBounds(t *testing.T, f Factory, blocking bool) {
 	check(2, 4, -1)
 	check(0, math.MaxUint64, 2, 1, 5) // limit truncation
 	check(0, 0, -1)                   // hi 0 is not a sentinel: [1, 0] is empty
+}
+
+// cursorEquivalence pins set.Cursor's resumption contract: with no
+// concurrent mutation, chunked iteration at any chunk size — including
+// 1, sizes that straddle the population, and sizes larger than it —
+// reassembles exactly the one-shot Scan over the same interval, for
+// both full-range sentinels and random sub-intervals, and the cursor
+// reports Done with no trailing chunk.
+func cursorEquivalence(t *testing.T, f Factory, blocking bool) {
+	s, rt := newSet(f, blocking)
+	sc := s.(set.Scanner)
+	p := rt.Register()
+	defer p.Unregister()
+	rng := rand.New(rand.NewSource(77))
+	model := map[uint64]uint64{}
+	const keySpace = 300
+	for i := 0; i < 180; i++ {
+		k := uint64(rng.Intn(keySpace) + 1)
+		v := rng.Uint64()
+		if _, had := model[k]; !had && s.Insert(p, k, v) {
+			model[k] = v
+		}
+	}
+	intervals := [][2]uint64{
+		{0, math.MaxUint64}, // open sentinels
+		{1, keySpace},
+		{keySpace / 4, keySpace / 2},
+		{keySpace + 1, 2 * keySpace}, // empty tail
+	}
+	for i := 0; i < 4; i++ {
+		lo := uint64(rng.Intn(keySpace + 1))
+		intervals = append(intervals, [2]uint64{lo, lo + uint64(rng.Intn(keySpace))})
+	}
+	for _, iv := range intervals {
+		want := sc.Scan(p, iv[0], iv[1], -1)
+		for _, chunk := range []int{1, 3, 7, len(want), len(want) + 1, 64} {
+			if chunk <= 0 {
+				continue
+			}
+			cur := set.NewCursor(sc, iv[0], iv[1])
+			var got []set.KV
+			for !cur.Done() {
+				run := cur.Next(p, chunk)
+				if len(run) > chunk {
+					t.Fatalf("cursor [%d,%d] chunk %d: run of %d pairs", iv[0], iv[1], chunk, len(run))
+				}
+				got = append(got, run...)
+			}
+			if cur.Next(p, chunk) != nil {
+				t.Fatalf("cursor [%d,%d] chunk %d: Next after Done returned pairs", iv[0], iv[1], chunk)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cursor [%d,%d] chunk %d: %d pairs, one-shot scan %d", iv[0], iv[1], chunk, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("cursor [%d,%d] chunk %d: pair %d = %v, want %v", iv[0], iv[1], chunk, j, got[j], want[j])
+				}
+			}
+		}
+	}
 }
 
 // scanLimitZero pins the limit-0 contract across every Scanner: a

@@ -51,14 +51,11 @@
 package txn
 
 import (
-	"runtime"
 	"sync/atomic"
 
 	flock "flock/internal/core"
 	"flock/internal/kv"
-	"flock/internal/obs"
-	"flock/internal/obs/trace"
-	"flock/internal/workload"
+	"flock/internal/kv/engine"
 )
 
 // Mode selects a store's concurrency-control arm.
@@ -157,28 +154,28 @@ func (s *Store) Mode() Mode { return s.mode }
 // differently.
 func (s *Store) SetStallInjection(n int) { s.kv.SetStallInjection(n) }
 
-// clientSeq seeds per-client backoff jitter (shared constants would
-// synchronize contending clients' retries).
-var clientSeq atomic.Uint64
-
 // Client is one goroutine's transactional handle. A Client must only be
 // used by one goroutine at a time; Close releases it.
 type Client struct {
 	st  *Store
 	kc  *kv.Client
 	p   *flock.Proc
-	rng *workload.SplitMix64
-	// seen is shardsOf's scratch bitmap. It is reused across operations
-	// — safe because it is only touched at top level, never captured by
-	// a thunk closure (unlike the per-op key copies and shard lists).
+	eng *engine.Engine
+	// seen is the footprint planner's scratch bitmap. It is reused
+	// across operations — safe because it is only touched at top level,
+	// never captured by a thunk closure (unlike the per-op key copies
+	// and shard lists).
 	seen []bool
 }
 
 // Register creates a client handle on the store.
 func (s *Store) Register() *Client {
 	kc := s.kv.Register()
-	rng := workload.NewSplitMix64(clientSeq.Add(1))
-	return &Client{st: s, kc: kc, p: kc.SharedProc(), rng: rng}
+	return &Client{
+		st: s, kc: kc, p: kc.SharedProc(),
+		eng:  s.kv.Engine(),
+		seen: make([]bool, s.kv.NumShards()),
+	}
 }
 
 // Close releases the client's runtime registration.
@@ -195,122 +192,28 @@ type TxnFunc func(vals []uint64, oks []bool) (writeVals []uint64, commit bool)
 
 // shardIndices maps keys to their shard indices (one hash per key per
 // operation; thunk bodies and helper replays reuse the result instead
-// of re-hashing).
+// of re-hashing). Thin delegate to the engine's footprint planner.
 func (c *Client) shardIndices(keys []uint64) []int {
-	out := make([]int, len(keys))
-	for i, k := range keys {
-		out[i] = c.st.kv.ShardOf(k)
-	}
-	return out
+	return c.eng.ShardIndices(keys)
 }
 
 // shardsOf returns the sorted, deduplicated union of the precomputed
 // shard-index sets — the lock acquisition order. The returned slice is
 // fresh (it is captured by thunk closures); the scratch bitmap is not.
 func (c *Client) shardsOf(idxSets ...[]int) []int {
-	if c.seen == nil {
-		c.seen = make([]bool, c.st.kv.NumShards())
-	}
-	n := 0
-	for _, idxs := range idxSets {
-		for _, s := range idxs {
-			if !c.seen[s] {
-				c.seen[s] = true
-				n++
-			}
-		}
-	}
-	out := make([]int, 0, n)
-	for s, hit := range c.seen {
-		if hit {
-			out = append(out, s)
-			c.seen[s] = false // reset for the next operation
-		}
-	}
-	return out // ascending by construction
+	return c.eng.Group(c.seen, idxSets...)
 }
 
-// acquireSorted tries to run body inside the composed critical section
-// holding every listed shard lock, nesting TryLock calls in ascending
-// order. It reports false when any acquisition failed (after helping
-// the conflicting holder to completion, in lock-free mode); the caller
-// retries. body runs on whichever Proc executes the innermost thunk.
-// The nesting itself lives on kv.Store (NestShardLocks) so the scan
-// path and the transaction layer share one protocol implementation.
-func (c *Client) acquireSorted(shards []int, body func(hp *flock.Proc)) bool {
-	return c.st.kv.NestShardLocks(c.p, shards, body)
-}
-
-// backoff spins-then-yields with per-client jitter between acquisition
-// attempts.
-func (c *Client) backoff(attempt int) {
-	if attempt > 8 {
-		attempt = 8
-	}
-	spins := c.rng.Next() % (uint64(16) << uint(attempt))
-	for i := uint64(0); i < spins; i++ {
-		_ = i
-	}
-	if attempt >= 2 {
-		runtime.Gosched()
-	}
-}
-
-// atomically retries the composed critical section until the full lock
-// chain is acquired once. body must publish its results idempotently
-// (per-attempt atomics): acquisition success means body's effects are
-// durably logged, even if the physical completion was a helper's.
-//
-// With obs metrics enabled it also records the committed transaction's
-// nested-acquire depth (distinct shard locks — len(shards), since the
-// chain nests one TryLock per shard) and whether any run of the
-// committed attempt executed on a foreign Proc, i.e. a helper carried
-// part or all of the transaction (obs.TxnHelped). The foreign flag is a
-// per-attempt atomic the wrapped body sets idempotently, so helper
-// replays keep the thunk-determinism rules.
+// atomically runs the composed critical section through the engine's
+// transactional arm (engine.Atomic): retried until the full ascending
+// lock chain is acquired once, with jittered backoff between attempts
+// and the obs depth/helped counters and TxnSpan trace emitted there.
+// mkBody must return a fresh body per attempt, and the body must
+// publish its results idempotently (per-attempt atomics): acquisition
+// success means body's effects are durably logged, even if the physical
+// completion was a helper's.
 func (c *Client) atomically(shards []int, mkBody func() func(hp *flock.Proc)) {
-	track := obs.On()
-	var t0 int64
-	if trace.On() {
-		t0 = trace.Now()
-	}
-	commit := func(attempt int) {
-		if t0 != 0 {
-			// TxnSpan packs the lock-chain depth with the attempt count
-			// (1-based) and carries the whole acquire-to-commit duration.
-			a := uint64(len(shards))&0xffff | uint64(attempt+1)<<16
-			now := trace.Now()
-			c.p.TraceAt(trace.TxnSpan, now, 0, a, uint64(now-t0))
-		}
-	}
-	for attempt := 0; ; attempt++ {
-		// A fresh body per attempt: a straggler replaying a *failed*
-		// published attempt must find that attempt's buffers, not the
-		// next one's (DESIGN.md S11).
-		body := mkBody()
-		if track {
-			foreign := &atomic.Bool{}
-			inner := body
-			body = func(hp *flock.Proc) {
-				if hp != c.p {
-					foreign.Store(true)
-				}
-				inner(hp)
-			}
-			if c.acquireSorted(shards, body) {
-				c.p.Obs().Inc(obs.DepthCounter(len(shards)))
-				if foreign.Load() {
-					c.p.Obs().Inc(obs.TxnHelped)
-				}
-				commit(attempt)
-				return
-			}
-		} else if c.acquireSorted(shards, body) {
-			commit(attempt)
-			return
-		}
-		c.backoff(attempt)
-	}
+	c.eng.Atomic(c.p, shards, mkBody)
 }
 
 // Txn runs a generic multi-key transaction: it reads readKeys, applies

@@ -11,7 +11,11 @@
 //     that every snapshot sums to the initial total — the canonical
 //     torn-write detector,
 //   - transactional linearizability: recorded multi-key histories must
-//     have a sequential witness (lincheck.CheckTx),
+//     have a sequential witness (lincheck.CheckTx); on scannable stores
+//     the history additionally interleaves whole-store Snapshot()
+//     iterations, each recorded as one read-only transaction over the
+//     entire key universe — a snapshot that observed a torn transaction
+//     (or a state no serialization point ever held) has no witness,
 //   - an oversubscribed pass (workers >> GOMAXPROCS), with deschedule
 //     injection in lock-free mode so most transactions complete via
 //     helping.
@@ -23,6 +27,7 @@ package txntest
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -294,6 +299,48 @@ func linTx(t *testing.T, f kv.Factory, opt txn.Options, stallEvery int) {
 
 	var clock atomic.Int64
 	hists := make([][]lincheck.TxOp, workers)
+
+	// Snapshot observer: on scannable stores, whole-store Snapshot()
+	// iterations run concurrently with the transaction mix and enter the
+	// history as read-only transactions over the full key universe
+	// (absent keys included, so the snapshot constrains the entire map
+	// state at its serialization point). All writers here are
+	// transactional — they hold shard locks — which is exactly the class
+	// of writers Snapshot() is atomic against.
+	var snapHist []lincheck.TxOp
+	var snapWG sync.WaitGroup
+	workersDone := make(chan struct{})
+	if st.KV().Scannable() {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-workersDone:
+					if i > 0 {
+						return // at least one snapshot overlapped the storm
+					}
+				default:
+				}
+				s := clock.Add(1)
+				sn := st.KV().Snapshot()
+				got := map[uint64]uint64{}
+				sn.Iterate(0, math.MaxUint64, func(k, v uint64) bool {
+					got[k] = v
+					return true
+				})
+				sn.Close()
+				e := clock.Add(1)
+				rd := make([]lincheck.KVObs, 0, keys)
+				for k := uint64(1); k <= keys; k++ {
+					v, ok := got[k]
+					rd = append(rd, lincheck.KVObs{Key: k, Val: v, Ok: ok})
+				}
+				snapHist = append(snapHist, lincheck.TxOp{Reads: rd, Start: s, End: e, Worker: workers})
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -380,12 +427,15 @@ func linTx(t *testing.T, f kv.Factory, opt txn.Options, stallEvery int) {
 		}(w)
 	}
 	wg.Wait()
+	close(workersDone)
+	snapWG.Wait()
 	var all []lincheck.TxOp
 	for _, h := range hists {
 		all = append(all, h...)
 	}
+	all = append(all, snapHist...)
 	if res := lincheck.CheckTx(all); !res.Ok {
-		t.Fatalf("history of %d transactions: %v", len(all), res)
+		t.Fatalf("history of %d transactions (%d snapshots): %v", len(all), len(snapHist), res)
 	}
 }
 

@@ -67,6 +67,14 @@ func TestFigureSpecsSmoke(t *testing.T) {
 				t.Errorf("%s series %s at x=%s: bad allocs/op %v",
 					id, s.Name, x, res.AllocsPerOp)
 			}
+			// The ext-snap "+snap" arms must report snapshot-loop
+			// progress: the loop completes at least one whole-store
+			// iteration even on the shortest window, so zero cycles
+			// means the background loop or its plumbing regressed.
+			if id == "ext-snap" && s.SnapshotLoop && res.SnapCycles < 1 {
+				t.Errorf("%s series %s at x=%s: snapshot loop reported %d cycles, want >= 1",
+					id, s.Name, x, res.SnapCycles)
+			}
 		}
 	}
 }
